@@ -1,0 +1,41 @@
+"""Benchmark fixtures: shared small-scale suite and split views.
+
+The per-table/figure benches run the same experiment code as
+``repro.experiments`` at a reduced scale; `--benchmark-only` runs measure
+wall-clock per experiment, which is how the repository reports the
+paper's runtime columns (ratios, not absolute hours -- see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+
+#: Scale used by all experiment benches (full runs use run_all --scale).
+BENCH_SCALE = 0.12
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return common.get_suite(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def views8():
+    return common.get_views(8, BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def views6():
+    return common.get_views(6, BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def views4():
+    return common.get_views(4, BENCH_SCALE)

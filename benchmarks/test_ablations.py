@@ -1,0 +1,132 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+Each bench regenerates a small comparison series and asserts the expected
+direction; the timing numbers double as the cost side of each trade-off.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.attack.config import IMP_9
+from repro.attack.framework import run_loo
+from repro.ml.bagging import Bagging
+from repro.splitmfg.pair_features import FEATURES_9, compute_pair_features
+from repro.splitmfg.sampling import build_training_set, positive_pairs
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_ablation_neighborhood_percentile(benchmark, views6):
+    """Section III-D trade-off: a smaller percentile caps accuracy lower
+    but evaluates fewer pairs."""
+
+    def sweep():
+        out = {}
+        for percentile in (70.0, 90.0, 97.0):
+            config = replace(
+                IMP_9,
+                name=f"Imp-9/p{percentile:g}",
+                neighborhood_percentile=percentile,
+            )
+            results = run_loo(config, views6, seed=0)
+            out[percentile] = {
+                "saturation": float(
+                    np.mean([r.saturation_accuracy() for r in results])
+                ),
+                "pairs": sum(r.n_pairs_evaluated for r in results),
+            }
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert out[70.0]["saturation"] <= out[97.0]["saturation"]
+    assert out[70.0]["pairs"] < out[97.0]["pairs"]
+
+
+def test_ablation_number_of_trees(benchmark, views6):
+    """More bagged REPTrees: diminishing returns after ~10 (Weka default)."""
+    rng = np.random.default_rng(0)
+    ts = build_training_set(views6, FEATURES_9, rng)
+
+    def sweep():
+        out = {}
+        for n in (1, 5, 10, 25):
+            model = Bagging(n_estimators=n, seed=1).fit(ts.X, ts.y)
+            out[n] = float((model.predict(ts.X) == ts.y).mean())
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert out[10] >= out[1] - 0.02
+
+
+def test_ablation_soft_vs_hard_voting(benchmark, views6):
+    """Soft voting yields a finer probability lattice, which is what makes
+    LoC-size control (Section III-F) possible."""
+    rng = np.random.default_rng(0)
+    ts = build_training_set(views6, FEATURES_9, rng)
+
+    def compare():
+        soft = Bagging(n_estimators=10, seed=1, voting="soft").fit(ts.X, ts.y)
+        hard = Bagging(n_estimators=10, seed=1, voting="hard").fit(ts.X, ts.y)
+        return (
+            len(np.unique(soft.predict_proba(ts.X))),
+            len(np.unique(hard.predict_proba(ts.X))),
+        )
+
+    soft_levels, hard_levels = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert soft_levels > hard_levels
+    assert hard_levels <= 11  # votes/10
+
+
+def test_ablation_balanced_vs_unbalanced_negatives(benchmark, views6):
+    """The paper's [4] citation: balanced classes are essential.  Training
+    with 5x negatives shifts probabilities down and costs recall at the
+    default threshold."""
+    rng = np.random.default_rng(0)
+
+    def compare():
+        balanced = build_training_set(views6, FEATURES_9, rng)
+        from repro.splitmfg.sampling import random_negative_pairs
+
+        blocks_X = [balanced.X]
+        blocks_y = [balanced.y]
+        for view in views6:
+            n_extra = 4 * len(positive_pairs(view)[0])
+            i, j = random_negative_pairs(view, n_extra, rng)
+            blocks_X.append(compute_pair_features(view, i, j, FEATURES_9))
+            blocks_y.append(np.zeros(len(i)))
+        X = np.vstack(blocks_X)
+        y = np.concatenate(blocks_y)
+        model_b = Bagging(n_estimators=10, seed=1).fit(balanced.X, balanced.y)
+        model_u = Bagging(n_estimators=10, seed=1).fit(X, y)
+        eval_X = balanced.X[balanced.y == 1]
+        return (
+            float((model_b.predict_proba(eval_X) >= 0.5).mean()),
+            float((model_u.predict_proba(eval_X) >= 0.5).mean()),
+        )
+
+    recall_balanced, recall_unbalanced = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert recall_balanced >= recall_unbalanced - 0.02
+
+
+def test_ablation_info_gain_bins(benchmark, views6):
+    """Equal-frequency bin count: ranking is stable across 10-40 bins."""
+    from repro.analysis.ranking import design_feature_ranking, rank_order
+    from repro.ml.feature_metrics import information_gain
+
+    view = views6[0]
+
+    def compare():
+        metrics = design_feature_ranking(view, seed=0)
+        return rank_order(metrics, "info_gain")[0]
+
+    top = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert top in (
+        "ManhattanVpin",
+        "DiffVpinX",
+        "DiffVpinY",
+        "ManhattanPin",
+        "DiffPinX",
+        "DiffPinY",
+    )

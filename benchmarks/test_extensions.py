@@ -1,0 +1,44 @@
+"""Benches for the extension experiments (matching, security, classifiers)."""
+
+from repro.experiments import (
+    extension_classifiers,
+    extension_matching,
+    extension_security,
+)
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_extension_matching(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: extension_matching.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    for record in out.data[8]:
+        assert 0 <= record["matching"] <= 1
+
+
+def test_extension_security(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: extension_security.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    entry = out.data[8]
+    assert entry["residual_bits"] < entry["baseline_bits"]
+
+
+def test_extension_classifiers(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: extension_classifiers.run(
+            scale=BENCH_SCALE,
+            layer=6,
+            names=("Bagging(10 REPTree)", "Logistic"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    trees = out.data["Bagging(10 REPTree)"]["accuracy_at_3pct"]
+    linear = out.data["Logistic"]["accuracy_at_3pct"]
+    # The paper's motivation for trees: non-linear beats linear.
+    assert trees >= linear - 0.05

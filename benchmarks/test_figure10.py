@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 10 (curves with/without noise), layer 6."""
+
+from repro.experiments import figure10
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_figure10_layer6(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: figure10.run(
+            scale=BENCH_SCALE, layers=(6,), noise_levels=(0.0, 0.01)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    data = out.data[6]
+    # Noisy accuracy never beats clean accuracy at mid fractions.
+    mid = len(data["no noise"]) // 2
+    assert data["SD=1%"][mid] <= data["no noise"][mid] + 0.05

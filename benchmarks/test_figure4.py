@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 4 (match-distance CDFs, layer 6)."""
+
+from repro.experiments import figure4
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_figure4(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: figure4.run(scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    for entry in out.data.values():
+        assert 0 < entry["p90"] <= 1.5
+        assert entry["p80"] <= entry["p90"] <= entry["p95"]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 7 (feature ranking) for all three layers."""
+
+from repro.experiments import figure7
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_figure7(benchmark, views8, views6, views4):
+    out = benchmark.pedantic(
+        lambda: figure7.run(scale=BENCH_SCALE, layers=(8, 6, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape target: metrics decay from layer 8 to lower layers for the
+    # dominant DiffVpinY feature (paper observation 3).
+    def mean_gain(layer, feature):
+        by_design = out.data[layer]
+        values = [by_design[d][feature]["info_gain"] for d in by_design]
+        return sum(values) / len(values)
+
+    assert mean_gain(8, "DiffVpinY") > mean_gain(6, "DiffVpinY")

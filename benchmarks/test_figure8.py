@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 8 (feature distributions, layer 6)."""
+
+from repro.experiments import figure8
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_figure8(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: figure8.run(scale=BENCH_SCALE, layer=6),
+        rounds=1,
+        iterations=1,
+    )
+    dists = out.data
+    assert (
+        dists["ManhattanVpin"].separation
+        > dists["PlacementCongestion"].separation
+    )

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 9 (trade-off curves) for layer 8."""
+
+from repro.experiments import figure9
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_figure9_layer8(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: figure9.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    data = out.data[8]
+    # ML configurations dominate the [5] baseline at the largest fraction.
+    assert data["Imp-11"][-1] >= data["[5]"][-1] - 0.05

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the pipeline stages.
+
+These are the components whose scaling the paper's runtime discussion is
+about: benchmark generation, the split cut, sample generation, classifier
+training, and pair inference.
+"""
+
+import numpy as np
+
+from repro.attack.config import IMP_9, ML_9
+from repro.attack.framework import evaluate_attack, train_attack
+from repro.ml.bagging import Bagging
+from repro.ml.forest import RandomForest
+from repro.splitmfg.pair_features import FEATURES_11, compute_pair_features
+from repro.splitmfg.sampling import build_training_set, iter_all_pairs
+from repro.splitmfg.vpin_features import make_split_view
+from repro.synth.benchmarks import BENCHMARK_SPECS, build_benchmark
+
+
+def test_benchmark_generation(benchmark):
+    design = benchmark.pedantic(
+        lambda: build_benchmark(BENCHMARK_SPECS[0], scale=0.12),
+        rounds=2,
+        iterations=1,
+    )
+    assert design.netlist.num_nets > 0
+
+
+def test_split_extraction(benchmark, suite):
+    view = benchmark.pedantic(
+        lambda: make_split_view(suite[0], 6), rounds=3, iterations=1
+    )
+    assert len(view) > 0
+
+
+def test_sample_generation(benchmark, views6):
+    rng = np.random.default_rng(0)
+    ts = benchmark.pedantic(
+        lambda: build_training_set(views6, FEATURES_11, rng),
+        rounds=3,
+        iterations=1,
+    )
+    assert ts.n_samples > 0
+
+
+def test_pair_feature_computation(benchmark, views6):
+    view = max(views6, key=len)
+    chunks = list(iter_all_pairs(len(view), 200_000))
+    i, j = chunks[0]
+
+    X = benchmark(compute_pair_features, view, i, j, FEATURES_11)
+    assert X.shape == (len(i), 11)
+
+
+def test_training_reptree_bagging(benchmark, views6):
+    rng = np.random.default_rng(0)
+    ts = build_training_set(views6, FEATURES_11, rng)
+    model = benchmark.pedantic(
+        lambda: Bagging(n_estimators=10, seed=1).fit(ts.X, ts.y),
+        rounds=2,
+        iterations=1,
+    )
+    assert model.estimators_
+
+
+def test_training_random_forest(benchmark, views6):
+    rng = np.random.default_rng(0)
+    ts = build_training_set(views6, FEATURES_11, rng)
+    model = benchmark.pedantic(
+        lambda: RandomForest(n_estimators=100, seed=1).fit(ts.X, ts.y),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.estimators_
+
+
+def test_inference_all_pairs(benchmark, views8):
+    trained = train_attack(ML_9, views8[1:], seed=0)
+    result = benchmark.pedantic(
+        lambda: evaluate_attack(trained, views8[0]),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.n_pairs_evaluated > 0
+
+
+def test_inference_neighborhood(benchmark, views8):
+    trained = train_attack(IMP_9, views8[1:], seed=0)
+    result = benchmark.pedantic(
+        lambda: evaluate_attack(trained, views8[0]),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.n_pairs_evaluated > 0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table I (prior-work comparison) at bench scale."""
+
+from repro.experiments import table1
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table1_layer8(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: table1.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = out.data[8]
+    assert len(rows) == 5
+    # Shape target: ML LoC at the baseline's accuracy is smaller than the
+    # baseline's LoC, on average.
+    ml = [r["Imp-11_loc"] for r in rows if r["Imp-11_loc"] is not None]
+    prior = [r["prior_loc"] for r in rows]
+    assert sum(ml) / len(ml) < sum(prior) / len(prior)
+
+
+def test_table1_layer6(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: table1.run(scale=BENCH_SCALE, layers=(6,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out.data[6]) == 5

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table II (RandomTree vs REPTree base classifier)."""
+
+from repro.experiments import table2
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table2_layer8(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: table2.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    data = out.data[8]
+    # The paper's claim: REPTree-based Bagging is several times faster.
+    assert data["reptree_runtime"] < 0.5 * data["randomtree_runtime"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table III (two-level pruning vs no pruning)."""
+
+from repro.experiments import table3
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table3_layer8(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: table3.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    for record in out.data[8]:
+        # Pruning must shrink the candidate lists.
+        assert record["pruned_loc"] <= record["plain_loc"] + 1e-9

@@ -1,0 +1,36 @@
+"""Bench: regenerate Table IV (configuration comparison across layers)."""
+
+from repro.experiments import table4
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table4_layer8_all_configs(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: table4.run(scale=BENCH_SCALE, layers=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    data = out.data[8]
+    assert len(data) == 8  # 4 base + 4 "Y" configurations
+    # The "Y" eval prunes most candidate pairs.
+    assert data["ML-9Y"]["pairs"] < data["ML-9"]["pairs"]
+
+
+def test_table4_layer6(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: table4.run(scale=BENCH_SCALE, layers=(6,)),
+        rounds=1,
+        iterations=1,
+    )
+    data = out.data[6]
+    # Imp tests fewer pairs than ML (the scalability improvement).
+    assert data["Imp-9"]["pairs"] < data["ML-9"]["pairs"]
+
+
+def test_table4_layer4(benchmark, views4):
+    out = benchmark.pedantic(
+        lambda: table4.run(scale=BENCH_SCALE, layers=(4,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(out.data[4]) == {"ML-9", "Imp-9", "Imp-7", "Imp-11"}

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table V (proximity-attack success rates).
+
+Restricted to layer 8 / one configuration at bench scale; the full grid
+is produced by ``python -m repro.experiments.table5``.
+"""
+
+from repro.attack.config import IMP_9
+from repro.experiments import table5
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table5_layer8_imp9(benchmark, views8):
+    out = benchmark.pedantic(
+        lambda: table5.run(scale=BENCH_SCALE, layers=(8,), configs=(IMP_9,)),
+        rounds=1,
+        iterations=1,
+    )
+    per_design = out.data[8]["per_design"]
+    assert len(per_design) == 5
+    for values in per_design.values():
+        assert 0 <= values["Imp-9 valid."] <= 1

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table VI (PA under obfuscation noise), layer 6."""
+
+import numpy as np
+
+from repro.experiments import table6
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table6_layer6(benchmark, views6):
+    out = benchmark.pedantic(
+        lambda: table6.run(
+            scale=BENCH_SCALE, layers=(6,), noise_levels=(0.0, 0.01)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    per_design = out.data[6]
+    clean = np.mean([v[0.0] for v in per_design.values()])
+    noisy = np.mean([v[0.01] for v in per_design.values()])
+    # Shape target: noise reduces average PA success.
+    assert noisy <= clean + 0.02

@@ -1,0 +1,108 @@
+"""Benchmark-release workflow: publish challenges, attack them from files.
+
+Shows the repository acting as a benchmark generator for third parties:
+
+1. cut every design at the split layer and write *public* challenge files
+   (v-pin features only -- no net names, no answers) plus separate
+   *oracle* files;
+2. as the attacker: load the public files, train on four of them using
+   their oracles (the attacker's "historical tape-outs"), attack the
+   fifth from its public file alone;
+3. as the judge: score the submitted candidate lists against the held
+   oracle.
+
+Run:  python examples/challenge_release.py [--scale 0.3] [--split-layer 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.attack import IMP_11, evaluate_attack, train_attack
+from repro.splitmfg import load_challenge, make_split_view, save_challenge
+from repro.synth import build_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--split-layer", type=int, default=6)
+    parser.add_argument("--target", type=str, default="sb5")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        print("== Organizer: generating and publishing challenges ==")
+        designs = build_suite(scale=args.scale)
+        names = []
+        for design in designs:
+            view = make_split_view(design, args.split_layer)
+            save_challenge(
+                view,
+                root / f"{design.name}.public.json",
+                root / f"{design.name}.oracle.json",
+            )
+            names.append(design.name)
+            print(
+                f"  {design.name}: {len(view)} v-pins -> "
+                f"{design.name}.public.json (+ oracle)"
+            )
+
+        print("\n== Attacker: training from files ==")
+        training = [
+            load_challenge(
+                root / f"{name}.public.json", root / f"{name}.oracle.json"
+            )
+            for name in names
+            if name != args.target
+        ]
+        trained = train_attack(IMP_11, training, seed=0)
+        print(
+            f"trained on {len(training)} designs, "
+            f"{trained.n_training_samples} samples"
+        )
+
+        # The attacker sees only the public file of the target.
+        blind_target = load_challenge(root / f"{args.target}.public.json")
+        result = evaluate_attack(trained, blind_target)
+        print(
+            f"attacked {args.target} blind: {result.n_pairs_evaluated} pairs "
+            f"classified"
+        )
+        # Submission: per v-pin, candidates with p >= 0.5.
+        submission: dict[int, list[int]] = {}
+        candidates = result.per_vpin_candidates()
+        for vpin in blind_target.vpins:
+            partners, probs = candidates[vpin.id]
+            keep = probs >= 0.5
+            submission[vpin.id] = sorted(int(p) for p in partners[keep])
+
+        print("\n== Judge: scoring against the withheld oracle ==")
+        truth = load_challenge(
+            root / f"{args.target}.public.json",
+            root / f"{args.target}.oracle.json",
+        )
+        hits = 0
+        total = 0
+        loc_sizes = []
+        for vpin in truth.vpins:
+            if not vpin.matches:
+                continue
+            total += 1
+            loc = submission.get(vpin.id, [])
+            loc_sizes.append(len(loc))
+            if set(loc) & vpin.matches:
+                hits += 1
+        print(
+            f"accuracy: {hits}/{total} = {hits / total:.1%}   "
+            f"mean |LoC|: {np.mean(loc_sizes):.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Designer's view: choosing a split layer and an obfuscation budget.
+
+The flip side of the paper: a designer deciding *where* to split and
+whether routing obfuscation is worth it.  For each candidate split layer
+the script reports the attack's strength (accuracy at a 1% candidate
+budget and proximity-attack success), then shows how much 1-2% y-noise
+obfuscation (Section III-I) buys at the chosen layer.
+
+Run:  python examples/defense_evaluation.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.attack import IMP_11, obfuscate_suite, pa_success_rate, run_loo
+from repro.reporting import ascii_table, format_percent
+from repro.splitmfg import make_split_view
+from repro.synth import build_suite
+
+
+def attack_strength(views, seed=0):
+    """Mean accuracy@1% LoC and PA success over the suite (LOO)."""
+    results = run_loo(IMP_11, views, seed=seed)
+    accuracy = float(np.mean([r.accuracy_at_loc_fraction(0.01) for r in results]))
+    pa = float(np.mean([pa_success_rate(r, pa_fraction=0.02) for r in results]))
+    runtime = sum(r.runtime for r in results)
+    return accuracy, pa, runtime
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--layers", type=int, nargs="*", default=[8, 6, 4])
+    parser.add_argument("--defense-layer", type=int, default=6)
+    args = parser.parse_args()
+
+    designs = build_suite(scale=args.scale)
+
+    print("== Split-layer comparison (lower = more hidden = more secure) ==")
+    rows = []
+    views_by_layer = {}
+    for layer in args.layers:
+        views = [make_split_view(d, layer) for d in designs]
+        views_by_layer[layer] = views
+        accuracy, pa, runtime = attack_strength(views)
+        rows.append(
+            [
+                f"V{layer}",
+                sum(len(v) for v in views),
+                format_percent(accuracy),
+                format_percent(pa),
+                f"{runtime:.0f}s",
+            ]
+        )
+    print(
+        ascii_table(
+            (
+                "Split layer",
+                "total v-pins",
+                "attack accuracy @ 1% LoC",
+                "PA success @ 2%",
+                "attack runtime",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nLower split layers expose less routing, multiply the v-pin count,"
+        "\nand drive the attack's accuracy and runtime down -- the paper's"
+        "\nTable IV conclusion."
+    )
+
+    print(f"\n== Obfuscation at split layer {args.defense_layer} ==")
+    base_views = views_by_layer.get(
+        args.defense_layer,
+        [make_split_view(d, args.defense_layer) for d in designs],
+    )
+    rows = []
+    for noise in (0.0, 0.01, 0.02):
+        views = (
+            base_views
+            if noise == 0.0
+            else obfuscate_suite(base_views, noise, seed=1)
+        )
+        accuracy, pa, _ = attack_strength(views)
+        label = "none" if noise == 0 else f"y-noise SD={noise:.0%}"
+        rows.append([label, format_percent(accuracy), format_percent(pa)])
+    print(
+        ascii_table(
+            ("obfuscation", "attack accuracy @ 1% LoC", "PA success @ 2%"),
+            rows,
+        )
+    )
+    print(
+        "\n~1% of the die height in routing perturbation already cripples"
+        "\nthe proximity attack; pushing to 2% adds little (Table VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Feature-engineering study: which layout features leak connectivity?
+
+Reproduces the paper's Section IV-A analysis programmatically -- feature
+ranking by information gain / correlation / Fisher ratio across split
+layers -- and demonstrates the API on a *custom* technology (a 7-metal
+stack with a vertical top layer) to show none of the machinery is tied to
+the default 9-layer setup.
+
+Run:  python examples/feature_study.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import (
+    design_feature_ranking,
+    feature_distributions,
+    rank_order,
+)
+from repro.layout import make_default_technology
+from repro.reporting import ascii_table
+from repro.splitmfg import make_split_view
+from repro.synth import BENCHMARK_SPECS, build_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args()
+
+    design = build_benchmark(BENCHMARK_SPECS[0], scale=args.scale)
+
+    print("== Feature ranking across split layers (sb1, info gain) ==")
+    rows = []
+    rankings = {}
+    for layer in (8, 6, 4):
+        view = make_split_view(design, layer)
+        metrics = design_feature_ranking(view, seed=0)
+        rankings[layer] = metrics
+        order = rank_order(metrics, "info_gain")
+        rows.append([f"V{layer}", len(view)] + order[:4])
+    print(
+        ascii_table(
+            ("split", "#v-pins", "rank 1", "rank 2", "rank 3", "rank 4"),
+            rows,
+        )
+    )
+    gain8 = rankings[8]["DiffVpinY"]["info_gain"]
+    gain6 = rankings[6]["DiffVpinY"]["info_gain"]
+    print(
+        f"\nDiffVpinY info gain: {gain8:.3f} at V8 vs {gain6:.3f} at V6 -- "
+        "the top metal layer routes in one direction, so at the highest via\n"
+        "layer a zero y-difference almost identifies the match (Fig. 7, obs. 3)."
+    )
+
+    print("\n== Per-class distributions at V6 (Fig. 8 style) ==")
+    view6 = make_split_view(design, 6)
+    dists = feature_distributions([view6], seed=0)
+    rows = [
+        [name, f"{d.positive_quantiles[2]:.3g}", f"{d.negative_quantiles[2]:.3g}", d.separation]
+        for name, d in sorted(
+            dists.items(), key=lambda kv: kv[1].separation, reverse=True
+        )[:6]
+    ]
+    print(
+        ascii_table(
+            ("feature", "match median", "non-match median", "separation"),
+            rows,
+        )
+    )
+
+    print("\n== Custom technology: 7 metal layers, vertical top layer ==")
+    tech = make_default_technology(num_metal_layers=7)
+    # Flip every direction so the top layer runs vertically: matching
+    # v-pins at the highest via layer then share the *x* coordinate.
+    from repro.layout.technology import Direction, MetalLayer, Technology
+
+    flipped = Technology(
+        name="7lm-vtop",
+        metal_layers=tuple(
+            MetalLayer(m.index, m.name, m.direction.other, m.pitch, m.width)
+            for m in tech.metal_layers
+        ),
+    )
+    custom = build_benchmark(BENCHMARK_SPECS[0], scale=args.scale, technology=flipped)
+    view = make_split_view(custom, flipped.highest_via_layer)
+    arr = view.arrays()
+    aligned_x = 0
+    total = 0
+    for vpin in view.vpins:
+        for m in vpin.matches:
+            total += 1
+            aligned_x += abs(arr["vx"][vpin.id] - arr["vx"][m]) <= 1e-6
+    print(
+        f"split at V{flipped.highest_via_layer}: {len(view)} v-pins, "
+        f"{aligned_x}/{total} match pairs share x (aligned axis = "
+        f"{view.aligned_axis!r})"
+    )
+
+
+if __name__ == "__main__":
+    main()

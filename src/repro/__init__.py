@@ -1,0 +1,28 @@
+"""repro -- reproduction of "Analysis of Security of Split Manufacturing
+Using Machine Learning" (Zeng, Zhang, Davoodi; DAC 2018 / journal version).
+
+Layer map:
+
+* :mod:`repro.layout`   -- geometry, technology, cells, netlists, routes;
+* :mod:`repro.synth`    -- synthetic "superblue-like" benchmark generation;
+* :mod:`repro.splitmfg` -- the FEOL/BEOL cut, v-pins, features, samples;
+* :mod:`repro.ml`       -- from-scratch trees/bagging/metrics (Weka-like);
+* :mod:`repro.attack`   -- the ML attack, two-level pruning, proximity
+  attack, prior-work baselines, obfuscation defense;
+* :mod:`repro.analysis` -- rankings, distributions, trade-off curves;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    from repro.synth import build_suite
+    from repro.splitmfg import make_split_view
+    from repro.attack import IMP_11, run_loo
+
+    views = [make_split_view(d, 8) for d in build_suite(scale=0.3)]
+    for result in run_loo(IMP_11, views):
+        print(result.view.design_name,
+              result.accuracy_at_threshold(0.5),
+              result.mean_loc_size_at_threshold(0.5))
+"""
+
+__version__ = "1.0.0"

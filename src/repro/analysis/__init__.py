@@ -1,0 +1,49 @@
+"""Analyses over attack results and split views (the paper's Section IV)."""
+
+from .ascii_plots import curve_block, line_chart, sparkline
+from .curves import (
+    DEFAULT_FRACTIONS,
+    accuracy_at_fraction,
+    fraction_for_mean_accuracy,
+    mean_accuracy_at_fractions,
+    mean_curve,
+)
+from .distributions import (
+    FeatureDistribution,
+    feature_distributions,
+    loo_cdf_per_design,
+    match_distance_cdf,
+)
+from .security import (
+    baseline_entropy_bits,
+    residual_entropy_bits,
+    security_bits,
+)
+from .ranking import (
+    design_feature_ranking,
+    rank_order,
+    suite_feature_ranking,
+    top_features,
+)
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "FeatureDistribution",
+    "accuracy_at_fraction",
+    "baseline_entropy_bits",
+    "curve_block",
+    "design_feature_ranking",
+    "feature_distributions",
+    "fraction_for_mean_accuracy",
+    "line_chart",
+    "loo_cdf_per_design",
+    "match_distance_cdf",
+    "mean_accuracy_at_fractions",
+    "mean_curve",
+    "rank_order",
+    "residual_entropy_bits",
+    "security_bits",
+    "sparkline",
+    "suite_feature_ranking",
+    "top_features",
+]

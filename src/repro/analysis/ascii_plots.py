@@ -1,0 +1,86 @@
+"""Terminal plotting: sparklines and small line charts for reports.
+
+The figure experiments print numeric series; these helpers add a visual
+layer that survives plain-text pipelines (EXPERIMENTS.md, CI logs) --
+the closest a matplotlib-free repository gets to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """One-line character plot of a numeric series."""
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    lo = min(data) if lo is None else lo
+    hi = max(data) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[-1] * len(data)
+    out = []
+    for v in data:
+        t = (v - lo) / span
+        out.append(_SPARK_LEVELS[min(int(t * (len(_SPARK_LEVELS) - 1) + 0.5), len(_SPARK_LEVELS) - 1)])
+    return "".join(out)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    y_format: str = "{:.2f}",
+) -> str:
+    """A multi-series ASCII line chart.
+
+    Each series is drawn with its own marker; the y-axis spans the pooled
+    range.  Intended for a handful of short series (the trade-off curves
+    of Figs. 9/10), not general plotting.
+    """
+    if not series:
+        return ""
+    markers = "ox+*#@%&"
+    pooled = [v for vs in series.values() for v in vs]
+    lo, hi = min(pooled), max(pooled)
+    if hi <= lo:
+        hi = lo + 1.0
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for x, v in enumerate(values[:width]):
+            t = (float(v) - lo) / (hi - lo)
+            y = height - 1 - min(int(t * (height - 1) + 0.5), height - 1)
+            grid[y][x] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * row_index / (height - 1)
+        label = y_format.format(y_value).rjust(8)
+        lines.append(f"{label} |" + "  ".join(row))
+    lines.append(" " * 8 + "+" + "-" * (3 * width - 2))
+    lines.append(
+        " " * 9 + "  ".join(str(lab)[:1].ljust(1) for lab in x_labels)
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{'':8} {legend}")
+    return "\n".join(lines)
+
+
+def curve_block(
+    title: str,
+    fractions: Sequence[float],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """A titled chart of accuracy-vs-fraction curves with sparklines."""
+    labels = [f"{f:g}" for f in fractions]
+    chart = line_chart(series, labels, y_format="{:.0%}")
+    sparks = "\n".join(
+        f"  {name:12s} {sparkline(values, 0.0, 1.0)}"
+        for name, values in series.items()
+    )
+    return f"{title}\n{chart}\n\nsparklines (0..100%):\n{sparks}"

@@ -1,0 +1,80 @@
+"""LoC-fraction vs accuracy curve aggregation (paper Figs. 9/10, Table IV).
+
+Table IV's row values are read off the *average* curve over the five
+benchmarks: the "LoC fraction with an average accuracy of X%" is the
+smallest fraction where the mean curve reaches X, and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attack.result import AttackResult
+
+#: Dense fraction grid used for averaged curves.
+DEFAULT_FRACTIONS = np.logspace(-5, np.log10(0.5), 60)
+
+
+def mean_curve(
+    results: list[AttackResult],
+    fractions: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average accuracy over results at shared LoC fractions."""
+    if not results:
+        raise ValueError("need at least one result")
+    fractions = DEFAULT_FRACTIONS if fractions is None else np.asarray(fractions)
+    accuracy = np.zeros(len(fractions))
+    for result in results:
+        accuracy += np.array(
+            [result.accuracy_at_loc_fraction(f) for f in fractions]
+        )
+    return fractions, accuracy / len(results)
+
+
+def fraction_for_mean_accuracy(
+    fractions: np.ndarray,
+    accuracies: np.ndarray,
+    target: float,
+) -> float | None:
+    """Smallest fraction whose mean accuracy reaches ``target`` (or None)."""
+    reached = np.nonzero(accuracies >= target)[0]
+    if len(reached) == 0:
+        return None
+    first = reached[0]
+    if first == 0:
+        return float(fractions[0])
+    # Log-linear interpolation between the bracketing grid points.
+    x0, x1 = np.log10(fractions[first - 1]), np.log10(fractions[first])
+    y0, y1 = accuracies[first - 1], accuracies[first]
+    if y1 == y0:
+        return float(fractions[first])
+    t = (target - y0) / (y1 - y0)
+    return float(10 ** (x0 + t * (x1 - x0)))
+
+
+def accuracy_at_fraction(
+    fractions: np.ndarray,
+    accuracies: np.ndarray,
+    target: float,
+) -> float:
+    """Mean accuracy at a LoC fraction (log-linear interpolation)."""
+    if target <= fractions[0]:
+        return float(accuracies[0])
+    if target >= fractions[-1]:
+        return float(accuracies[-1])
+    return float(
+        np.interp(np.log10(target), np.log10(fractions), accuracies)
+    )
+
+
+def mean_accuracy_at_fractions(
+    results: list[AttackResult],
+    targets: tuple[float, ...],
+) -> dict[float, float]:
+    """Average (over results) accuracy at each exact LoC fraction."""
+    return {
+        target: float(
+            np.mean([r.accuracy_at_loc_fraction(target) for r in results])
+        )
+        for target in targets
+    }

@@ -1,0 +1,115 @@
+"""Data-distribution analyses: Fig. 4 (match-distance CDFs) and Fig. 8
+(per-class feature distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..splitmfg.pair_features import FEATURES_11
+from ..splitmfg.sampling import build_training_set
+from ..splitmfg.split import SplitView
+
+
+def match_distance_cdf(
+    views: list[SplitView],
+    grid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of the normalized true-match ManhattanVpin, pooled over views.
+
+    Returns ``(grid, cdf)`` with distances normalized by each design's
+    half-perimeter (paper Fig. 4 plots exactly this, aggregated over the
+    N-1 training designs of each fold).
+    """
+    pooled = []
+    for view in views:
+        distances = view.match_distances()
+        if len(distances):
+            pooled.append(distances / view.half_perimeter)
+    if not pooled:
+        raise ValueError("no matching pairs in any view")
+    data = np.sort(np.concatenate(pooled))
+    if grid is None:
+        grid = np.linspace(0.0, float(data.max()), 200)
+    cdf = np.searchsorted(data, grid, side="right") / len(data)
+    return grid, cdf
+
+
+def loo_cdf_per_design(
+    views: list[SplitView],
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Fig. 4: for each design, the CDF over the *other* N-1 designs."""
+    out = {}
+    for k, view in enumerate(views):
+        rest = views[:k] + views[k + 1 :]
+        out[view.design_name] = match_distance_cdf(rest)
+    return out
+
+
+@dataclass(frozen=True)
+class FeatureDistribution:
+    """Summary of one feature's per-class distribution (Fig. 8)."""
+
+    feature: str
+    positive_quantiles: tuple[float, ...]
+    negative_quantiles: tuple[float, ...]
+    positive_mean: float
+    negative_mean: float
+    positive_outlier_rate: float
+    negative_outlier_rate: float
+
+    @property
+    def separation(self) -> float:
+        """Gap between class medians, normalized by the pooled IQR."""
+        pos_med = self.positive_quantiles[2]
+        neg_med = self.negative_quantiles[2]
+        iqr = (
+            (self.positive_quantiles[3] - self.positive_quantiles[1])
+            + (self.negative_quantiles[3] - self.negative_quantiles[1])
+        ) / 2.0
+        if iqr <= 0:
+            return 0.0
+        return abs(pos_med - neg_med) / iqr
+
+
+_QUANTILES = (0.01, 0.25, 0.50, 0.75, 0.99)
+
+
+def _summary(x: np.ndarray) -> tuple[tuple[float, ...], float, float]:
+    quantiles = tuple(float(q) for q in np.quantile(x, _QUANTILES))
+    q1, q3 = quantiles[1], quantiles[3]
+    iqr = q3 - q1
+    if iqr > 0:
+        outliers = float(((x < q1 - 3 * iqr) | (x > q3 + 3 * iqr)).mean())
+    else:
+        outliers = 0.0
+    return quantiles, float(x.mean()), outliers
+
+
+def feature_distributions(
+    views: list[SplitView],
+    features: tuple[str, ...] = FEATURES_11,
+    seed: int = 0,
+) -> dict[str, FeatureDistribution]:
+    """Fig. 8 data: per-class distribution summaries, all views mixed."""
+    rng = np.random.default_rng(seed)
+    training_set = build_training_set(views, features, rng)
+    X, y = training_set.X, training_set.y
+    out: dict[str, FeatureDistribution] = {}
+    for k, feature in enumerate(features):
+        pos = X[y == 1, k]
+        neg = X[y == 0, k]
+        pos_q, pos_mean, pos_out = _summary(pos)
+        neg_q, neg_mean, neg_out = _summary(neg)
+        out[feature] = FeatureDistribution(
+            feature=feature,
+            positive_quantiles=pos_q,
+            negative_quantiles=neg_q,
+            positive_mean=pos_mean,
+            negative_mean=neg_mean,
+            positive_outlier_rate=pos_out,
+            negative_outlier_rate=neg_out,
+        )
+    return out

@@ -1,0 +1,62 @@
+"""Feature-ranking analysis (paper Section IV-A, Fig. 7).
+
+Computes information gain, |correlation|, and Fisher's discriminant ratio
+of every pair feature, per design and split layer, over the samples an
+``Imp`` model would train on for that design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.feature_metrics import rank_features
+from ..splitmfg.pair_features import FEATURES_11
+from ..splitmfg.sampling import (
+    DEFAULT_NEIGHBORHOOD_PERCENTILE,
+    build_training_set,
+    neighborhood_fraction,
+)
+from ..splitmfg.split import SplitView
+
+Metrics = dict[str, dict[str, float]]
+
+
+def design_feature_ranking(
+    view: SplitView,
+    seed: int = 0,
+    features: tuple[str, ...] = FEATURES_11,
+    percentile: float = DEFAULT_NEIGHBORHOOD_PERCENTILE,
+) -> Metrics:
+    """All three ranking metrics on one design's Imp training samples."""
+    rng = np.random.default_rng(seed)
+    fraction = neighborhood_fraction([view], percentile)
+    training_set = build_training_set(
+        [view], features, rng, neighborhood=fraction
+    )
+    return rank_features(training_set.X, training_set.y, features)
+
+
+def suite_feature_ranking(
+    views: list[SplitView],
+    seed: int = 0,
+    features: tuple[str, ...] = FEATURES_11,
+) -> dict[str, Metrics]:
+    """Fig. 7 data: ``{design_name: {feature: {metric: value}}}``."""
+    return {
+        view.design_name: design_feature_ranking(view, seed=seed, features=features)
+        for view in views
+    }
+
+
+def rank_order(metrics: Metrics, key: str = "info_gain") -> list[str]:
+    """Feature names sorted by one metric, most important first."""
+    return sorted(metrics, key=lambda name: metrics[name][key], reverse=True)
+
+
+def top_features(
+    by_design: dict[str, Metrics], key: str = "info_gain", k: int = 3
+) -> dict[str, list[str]]:
+    """Top-``k`` features per design for one metric."""
+    return {
+        design: rank_order(metrics, key)[:k] for design, metrics in by_design.items()
+    }

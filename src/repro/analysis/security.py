@@ -1,0 +1,88 @@
+"""Information-theoretic security metrics for split views and attacks.
+
+The paper's discussion (and reference [11]) frames split-manufacturing
+security as the attacker's residual uncertainty.  This module quantifies
+it:
+
+* :func:`baseline_entropy_bits` -- bits needed to identify each v-pin's
+  match with no attack at all (log2 of the legal candidate count);
+* :func:`residual_entropy_bits` -- bits remaining once the attacker
+  holds the classifier's LoCs at a threshold (log2 |LoC| for covered
+  v-pins, full baseline for missed ones);
+* :func:`security_bits` -- the designer-facing summary: mean residual
+  bits per v-pin, i.e. how much guessing the BEOL still costs after the
+  strongest ML attack in this repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attack.result import AttackResult
+from ..splitmfg.split import SplitView
+
+
+def baseline_entropy_bits(view: SplitView) -> float:
+    """Mean log2(#legal candidates) per matched v-pin, attack-free."""
+    n = len(view)
+    if n < 2:
+        return 0.0
+    out = view.arrays()["out_area"] > 0
+    n_drivers = int(out.sum())
+    bits = []
+    for vpin in view.vpins:
+        if not vpin.matches:
+            continue
+        # Legal candidates: everyone except self and, for drivers, the
+        # other drivers (the paper's legality rule).
+        candidates = n - 1 - (n_drivers - 1 if out[vpin.id] else 0)
+        bits.append(np.log2(max(candidates, 1)))
+    return float(np.mean(bits)) if bits else 0.0
+
+
+def residual_entropy_bits(result: AttackResult, threshold: float = 0.5) -> float:
+    """Mean bits of uncertainty left after applying the LoCs.
+
+    Per matched v-pin: log2 |LoC| if the match is inside the LoC (the
+    attacker must still pick among |LoC| candidates), else the baseline
+    bits (the LoC misled them; they are back to guessing).
+    """
+    view = result.view
+    n = len(view)
+    if n < 2:
+        return 0.0
+    out = view.arrays()["out_area"] > 0
+    n_drivers = int(out.sum())
+    keep = result.prob >= threshold
+    loc_sizes = np.zeros(n)
+    np.add.at(loc_sizes, result.pair_i[keep], 1)
+    np.add.at(loc_sizes, result.pair_j[keep], 1)
+    cover = result.cover_probability()
+    bits = []
+    for vpin in view.vpins:
+        if not vpin.matches:
+            continue
+        covered = np.isfinite(cover[vpin.id]) and cover[vpin.id] >= threshold
+        if covered and loc_sizes[vpin.id] >= 1:
+            bits.append(np.log2(loc_sizes[vpin.id]))
+        else:
+            candidates = n - 1 - (n_drivers - 1 if out[vpin.id] else 0)
+            bits.append(np.log2(max(candidates, 1)))
+    return float(np.mean(bits)) if bits else 0.0
+
+
+def security_bits(
+    result: AttackResult, threshold: float = 0.5
+) -> dict[str, float]:
+    """Designer-facing summary of one attack result.
+
+    Returns baseline bits, residual bits, and the reduction the attack
+    achieved (``gain``); a secure split keeps the gain small.
+    """
+    baseline = baseline_entropy_bits(result.view)
+    residual = residual_entropy_bits(result, threshold)
+    return {
+        "baseline_bits": baseline,
+        "residual_bits": residual,
+        "gain_bits": baseline - residual,
+    }

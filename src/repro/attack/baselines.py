@@ -1,0 +1,175 @@
+"""Prior-work baselines the paper compares against.
+
+* :class:`PriorWorkAttack` -- the [5]-style attack: a linear regression
+  predicts, from a v-pin's congestion/wirelength features, how far away
+  its match should be; *every* v-pin inside that radius is declared a
+  candidate.  The radius margin trades LoC size against accuracy, giving
+  the baseline curve of Fig. 9.
+* :func:`naive_nearest_pa` -- the classic proximity attack [9]: always
+  pick the geometrically nearest (legal) v-pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..ml.linear import LinearRegression
+from ..splitmfg.split import SplitView
+
+
+def _vpin_regression_features(view: SplitView) -> np.ndarray:
+    """Per-v-pin regressor inputs: congestion and normalized wirelength."""
+    arr = view.arrays()
+    half_perimeter = view.half_perimeter
+    return np.column_stack(
+        [
+            arr["pc"],
+            arr["rc"],
+            arr["w"] / half_perimeter,
+        ]
+    )
+
+
+class PriorWorkAttack:
+    """Linear-regression neighborhood attack in the style of [5]."""
+
+    def __init__(self) -> None:
+        self.model = LinearRegression()
+        self._fitted = False
+
+    def fit(self, training_views: list[SplitView]) -> "PriorWorkAttack":
+        """Regress normalized match distance on per-v-pin features."""
+        blocks_X: list[np.ndarray] = []
+        blocks_y: list[np.ndarray] = []
+        for view in training_views:
+            features = _vpin_regression_features(view)
+            arr = view.arrays()
+            half_perimeter = view.half_perimeter
+            for vpin in view.vpins:
+                if not vpin.matches:
+                    continue
+                distances = [
+                    abs(arr["vx"][m] - vpin.location.x)
+                    + abs(arr["vy"][m] - vpin.location.y)
+                    for m in vpin.matches
+                ]
+                blocks_X.append(features[vpin.id : vpin.id + 1])
+                blocks_y.append(np.array([min(distances) / half_perimeter]))
+        if not blocks_X:
+            raise ValueError("no training matches for the baseline")
+        self.model.fit(np.vstack(blocks_X), np.concatenate(blocks_y))
+        self._fitted = True
+        return self
+
+    def radii(self, view: SplitView, margin: float = 1.0) -> np.ndarray:
+        """Predicted per-v-pin candidate radius, scaled by ``margin``."""
+        if not self._fitted:
+            raise RuntimeError("fit() first")
+        predicted = self.model.predict(_vpin_regression_features(view))
+        radius = np.maximum(predicted, 0.0) * margin * view.half_perimeter
+        # Never collapse below one routing-track pitch worth of slack.
+        return np.maximum(radius, 1e-9)
+
+    def evaluate(self, view: SplitView, margin: float = 1.0) -> "PriorResult":
+        """LoC sizes and accuracy with all-in-radius candidate lists."""
+        radius = self.radii(view, margin)
+        arr = view.arrays()
+        points = np.column_stack([arr["vx"], arr["vy"]])
+        tree = cKDTree(points)
+        counts = np.asarray(
+            tree.query_ball_point(points, r=radius, p=1, return_length=True),
+            dtype=float,
+        )
+        loc_sizes = counts - 1.0  # not a candidate of itself
+        covered = np.zeros(len(view), dtype=bool)
+        for vpin in view.vpins:
+            if not vpin.matches:
+                continue
+            best = min(
+                abs(arr["vx"][m] - vpin.location.x)
+                + abs(arr["vy"][m] - vpin.location.y)
+                for m in vpin.matches
+            )
+            covered[vpin.id] = best <= radius[vpin.id]
+        has_match = np.array([bool(v.matches) for v in view.vpins])
+        accuracy = float(covered[has_match].mean()) if has_match.any() else 0.0
+        return PriorResult(
+            view=view,
+            margin=margin,
+            mean_loc_size=float(loc_sizes.mean()) if len(view) else 0.0,
+            accuracy=accuracy,
+            radii=radius,
+        )
+
+    def curve(
+        self, view: SplitView, margins: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(LoC fraction, accuracy) series over radius margins (Fig. 9)."""
+        if margins is None:
+            margins = np.logspace(-1.5, 1.5, 25)
+        fractions = []
+        accuracies = []
+        n = max(len(view), 1)
+        for margin in margins:
+            result = self.evaluate(view, float(margin))
+            fractions.append(result.mean_loc_size / n)
+            accuracies.append(result.accuracy)
+        return np.array(fractions), np.array(accuracies)
+
+    def pa_success_rate(self, view: SplitView, margin: float = 1.0) -> float:
+        """Proximity attack over the baseline's radius-limited LoC."""
+        radius = self.radii(view, margin)
+        return _nearest_within(view, radius)
+
+
+def _nearest_within(view: SplitView, radius: np.ndarray | None) -> float:
+    """Nearest-legal-neighbor PA, optionally limited to per-v-pin radii."""
+    arr = view.arrays()
+    n = len(view)
+    if n < 2:
+        return 0.0
+    points = np.column_stack([arr["vx"], arr["vy"]])
+    tree = cKDTree(points)
+    out_area = arr["out_area"]
+    k = min(16, n)
+    distances, neighbors = tree.query(points, k=k, p=1)
+    successes = 0
+    evaluated = 0
+    for vpin in view.vpins:
+        if not vpin.matches:
+            continue
+        evaluated += 1
+        v = vpin.id
+        pick = None
+        for dist, u in zip(distances[v], neighbors[v]):
+            u = int(u)
+            if u == v:
+                continue
+            if out_area[v] > 0 and out_area[u] > 0:
+                continue  # illegal driver-driver pair
+            if radius is not None and dist > radius[v]:
+                break
+            pick = u
+            break
+        if pick is not None and pick in vpin.matches:
+            successes += 1
+    return successes / evaluated if evaluated else 0.0
+
+
+def naive_nearest_pa(view: SplitView) -> float:
+    """Success rate of the plain nearest-neighbor proximity attack [9]."""
+    return _nearest_within(view, None)
+
+
+@dataclass(frozen=True)
+class PriorResult:
+    """Baseline outcome at one radius margin."""
+
+    view: SplitView
+    margin: float
+    mean_loc_size: float
+    accuracy: float
+    radii: np.ndarray

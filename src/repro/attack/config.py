@@ -1,0 +1,68 @@
+"""Attack model configurations (paper Section IV).
+
+The four primary configurations and their "Y"-suffixed variants:
+
+* ``ML-9``  -- 9 features, no scalability neighborhood (paper's baseline);
+* ``Imp-9`` -- 9 features with the Section III-D neighborhood;
+* ``Imp-7`` -- neighborhood, minus the two least important features;
+* ``Imp-11`` -- neighborhood, all 11 features;
+* ``*Y``   -- additionally limit the v-pin coordinate difference along the
+  top metal layer's off-axis to zero (highest via layer only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..splitmfg.pair_features import FEATURE_SETS
+from ..splitmfg.sampling import DEFAULT_NEIGHBORHOOD_PERCENTILE
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """All knobs of one machine-learning attack variant."""
+
+    name: str
+    n_features: int = 9
+    scalable: bool = False
+    limit_top_axis: bool = False
+    neighborhood_percentile: float = DEFAULT_NEIGHBORHOOD_PERCENTILE
+    n_estimators: int = 10
+    base_classifier: str = "reptree"  # "reptree" | "randomtree"
+    voting: str = "soft"
+
+    def __post_init__(self) -> None:
+        if self.n_features not in FEATURE_SETS:
+            raise ValueError(
+                f"n_features must be one of {sorted(FEATURE_SETS)}, "
+                f"got {self.n_features}"
+            )
+        if self.base_classifier not in ("reptree", "randomtree"):
+            raise ValueError(f"unknown base classifier {self.base_classifier!r}")
+
+    @property
+    def features(self) -> tuple[str, ...]:
+        return FEATURE_SETS[self.n_features]
+
+    def with_limit(self) -> "AttackConfig":
+        """The "Y"-suffixed variant of this configuration."""
+        if self.limit_top_axis:
+            return self
+        return replace(self, name=f"{self.name}Y", limit_top_axis=True)
+
+
+ML_9 = AttackConfig(name="ML-9", n_features=9, scalable=False)
+IMP_9 = AttackConfig(name="Imp-9", n_features=9, scalable=True)
+IMP_7 = AttackConfig(name="Imp-7", n_features=7, scalable=True)
+IMP_11 = AttackConfig(name="Imp-11", n_features=11, scalable=True)
+
+ML_9Y = ML_9.with_limit()
+IMP_9Y = IMP_9.with_limit()
+IMP_7Y = IMP_7.with_limit()
+IMP_11Y = IMP_11.with_limit()
+
+PRIMARY_CONFIGS: tuple[AttackConfig, ...] = (ML_9, IMP_9, IMP_7, IMP_11)
+LIMIT_CONFIGS: tuple[AttackConfig, ...] = (ML_9Y, IMP_9Y, IMP_7Y, IMP_11Y)
+ALL_CONFIGS: tuple[AttackConfig, ...] = PRIMARY_CONFIGS + LIMIT_CONFIGS
+
+CONFIGS_BY_NAME: dict[str, AttackConfig] = {c.name: c for c in ALL_CONFIGS}

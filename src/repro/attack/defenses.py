@@ -1,0 +1,174 @@
+"""Obfuscation defenses beyond the paper's y-noise experiment.
+
+Section III-I studies one obfuscation (Gaussian y-noise imitating
+perturbed routing).  This module adds the defense family the paper's
+references [8], [14], [16] propose, all expressed as transformations of
+the attacker-visible :class:`~repro.splitmfg.split.SplitView` so they can
+be evaluated under exactly the same attack harness:
+
+* :func:`with_xy_noise` -- isotropic position perturbation (routing
+  perturbation on both axes, [14]);
+* :func:`with_dummy_vpins` -- dummy via insertion: fake v-pins with no
+  hidden connection, diluting the candidate pool ([16]-style decoys);
+* :func:`with_feature_scrambling` -- swap the placement-layer attributes
+  (px/py, areas, W) between randomly chosen v-pins of compatible
+  polarity, imitating pin-swapping obfuscation at the cell level ([8]).
+
+Each transform preserves the ground truth of real v-pins, so attack
+metrics before/after quantify the defense's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..layout.geometry import Point
+from ..splitmfg.split import SplitView, VPin
+from ..splitmfg.vpin_features import routing_congestion
+
+
+def _rebuild(view: SplitView, vpins: list[VPin]) -> SplitView:
+    """A new view with the given v-pins and refreshed routing congestion."""
+    out = SplitView(
+        design_name=view.design_name,
+        split_layer=view.split_layer,
+        die_width=view.die_width,
+        die_height=view.die_height,
+        vpins=vpins,
+        num_via_layers=view.num_via_layers,
+        top_metal_direction=view.top_metal_direction,
+    )
+    rc = routing_congestion(out)
+    for vpin, rc_value in zip(out.vpins, rc):
+        vpin.rc = float(rc_value)
+    out.invalidate_cache()
+    return out
+
+
+def with_xy_noise(
+    view: SplitView,
+    sd_fraction: float,
+    rng: np.random.Generator,
+) -> SplitView:
+    """Perturb both v-pin coordinates by Gaussian noise.
+
+    ``sd_fraction`` scales against the corresponding die extent per axis.
+    Unlike the paper's y-only noise this also defeats attacks that lean
+    on x-track alignment.
+    """
+    if sd_fraction < 0:
+        raise ValueError("sd_fraction must be non-negative")
+    if sd_fraction == 0:
+        return view
+    sd_x = sd_fraction * view.die_width
+    sd_y = sd_fraction * view.die_height
+    vpins = []
+    for vpin in view.vpins:
+        x = min(max(vpin.location.x + rng.normal(0, sd_x), 0.0), view.die_width)
+        y = min(max(vpin.location.y + rng.normal(0, sd_y), 0.0), view.die_height)
+        vpins.append(replace(vpin, location=Point(x, y)))
+    return _rebuild(view, vpins)
+
+
+def with_dummy_vpins(
+    view: SplitView,
+    fraction: float,
+    rng: np.random.Generator,
+) -> SplitView:
+    """Insert ``fraction * len(view)`` decoy v-pins.
+
+    A decoy copies a real v-pin's feature profile (so it is not trivially
+    separable) but sits at a random location and has **no** match; it can
+    only inflate LoCs and absorb proximity-attack picks.  Ground-truth
+    matches of real v-pins are preserved (decoys get fresh ids at the
+    end, so existing ids remain valid).
+    """
+    if fraction < 0:
+        raise ValueError("fraction must be non-negative")
+    n_dummy = int(round(fraction * len(view)))
+    if n_dummy == 0:
+        return view
+    vpins = [replace(v) for v in view.vpins]
+    templates = rng.integers(len(view), size=n_dummy)
+    for offset, template_index in enumerate(templates):
+        template = view.vpins[int(template_index)]
+        location = Point(
+            float(rng.uniform(0, view.die_width)),
+            float(rng.uniform(0, view.die_height)),
+        )
+        vpins.append(
+            replace(
+                template,
+                id=len(view) + offset,
+                net=f"__dummy{offset}",
+                location=location,
+                matches=frozenset(),
+            )
+        )
+    return _rebuild(view, vpins)
+
+
+def with_feature_scrambling(
+    view: SplitView,
+    fraction: float,
+    rng: np.random.Generator,
+) -> SplitView:
+    """Swap placement-side attributes between same-polarity v-pin pairs.
+
+    For ``fraction`` of the v-pins, the placement-layer connection point,
+    fragment wirelength and areas are exchanged with another randomly
+    chosen v-pin of the same polarity (driver/sink side), imitating
+    logic-preserving pin swaps.  V-pin locations and ground truth are
+    untouched, so only the placement-derived features degrade.
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    vpins = [replace(v) for v in view.vpins]
+    if fraction == 0 or len(vpins) < 2:
+        return _rebuild(view, vpins)
+    drivers = [v.id for v in vpins if v.out_area > 0]
+    sinks = [v.id for v in vpins if v.out_area == 0]
+    for pool in (drivers, sinks):
+        n_swap = int(round(fraction * len(pool) / 2))
+        if len(pool) < 2:
+            continue
+        chosen = rng.permutation(len(pool))
+        for k in range(n_swap):
+            a = vpins[pool[int(chosen[2 * k])]]
+            b = vpins[pool[int(chosen[2 * k + 1])]]
+            for field in ("pin_location", "fragment_wirelength", "in_area",
+                          "out_area", "pc", "pins"):
+                tmp = getattr(a, field)
+                setattr(a, field, getattr(b, field))
+                setattr(b, field, tmp)
+    return _rebuild(view, vpins)
+
+
+def apply_defense_suite(
+    views: list[SplitView],
+    defense: str,
+    strength: float,
+    seed: int = 0,
+) -> list[SplitView]:
+    """Apply a named defense to every view of a suite.
+
+    ``defense`` is one of ``"y-noise"``, ``"xy-noise"``, ``"dummies"``,
+    ``"scramble"``.
+    """
+    from .obfuscation import with_y_noise
+
+    transforms = {
+        "y-noise": with_y_noise,
+        "xy-noise": with_xy_noise,
+        "dummies": with_dummy_vpins,
+        "scramble": with_feature_scrambling,
+    }
+    if defense not in transforms:
+        raise ValueError(
+            f"unknown defense {defense!r}; choose from {sorted(transforms)}"
+        )
+    rng = np.random.default_rng(seed)
+    transform = transforms[defense]
+    return [transform(view, strength, rng) for view in views]

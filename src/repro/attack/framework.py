@@ -1,0 +1,208 @@
+"""Training and evaluation driver for the machine-learning attack.
+
+Implements the paper's Fig. 1 pipeline around a trained classifier:
+
+* :func:`train_attack` -- build the balanced training set from the
+  training views (with the Imp neighborhood and/or the "Y" limit when the
+  configuration asks for them) and fit the Bagging classifier;
+* :func:`evaluate_attack` -- enumerate candidate pairs of a test view
+  (all legal pairs for ``ML``, neighborhood pairs for ``Imp``), classify
+  them in bounded-memory chunks, and record the probability of every pair
+  (Section III-F: thresholds are applied *afterwards*);
+* :func:`run_loo` -- leave-one-out cross validation over a suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..ml.bagging import Bagging
+from ..ml.tree import RandomTree
+from ..splitmfg.pair_features import compute_pair_features, legal_pair_mask
+from ..splitmfg.sampling import (
+    COORD_TOL,
+    NeighborhoodIndex,
+    build_training_set,
+    iter_all_pairs,
+    neighborhood_fraction,
+    neighborhood_radius,
+)
+from ..splitmfg.split import SplitView
+from .config import AttackConfig
+from .result import AttackResult
+
+DEFAULT_CHUNK_SIZE = 400_000
+
+
+def make_classifier(config: AttackConfig, seed: int) -> Bagging:
+    """The configured Bagging classifier (REPTree or RandomTree bases)."""
+    if config.base_classifier == "randomtree":
+        return Bagging(
+            base_factory=lambda rng: RandomTree(min_samples_leaf=1, seed=rng),
+            n_estimators=config.n_estimators,
+            seed=seed,
+            voting=config.voting,
+        )
+    return Bagging(n_estimators=config.n_estimators, seed=seed, voting=config.voting)
+
+
+def _limit_axis(config: AttackConfig, views: list[SplitView]) -> str | None:
+    """Validate and resolve the "Y" limit for these views."""
+    if not config.limit_top_axis:
+        return None
+    axes = {view.aligned_axis for view in views}
+    if axes == {None} or None in axes:
+        raise ValueError(
+            f"configuration {config.name} limits the top-layer axis but the "
+            f"split is not at the highest via layer"
+        )
+    if len(axes) != 1:
+        raise ValueError("views disagree on the aligned axis")
+    return axes.pop()
+
+
+@dataclass
+class TrainedAttack:
+    """A fitted classifier plus the preprocessing decisions it was fit with."""
+
+    config: AttackConfig
+    model: Bagging
+    neighborhood: float | None
+    limit_axis: str | None
+    train_time: float
+    n_training_samples: int
+
+
+def train_attack(
+    config: AttackConfig,
+    training_views: list[SplitView],
+    seed: int = 0,
+    allowed: list[np.ndarray] | None = None,
+) -> TrainedAttack:
+    """Fit the attack classifier on the training views."""
+    if not training_views:
+        raise ValueError("need at least one training view")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    axis = _limit_axis(config, training_views)
+    fraction = (
+        neighborhood_fraction(training_views, config.neighborhood_percentile)
+        if config.scalable
+        else None
+    )
+    training_set = build_training_set(
+        training_views,
+        config.features,
+        rng,
+        neighborhood=fraction,
+        y_aligned_only=axis == "y",
+        x_aligned_only=axis == "x",
+        allowed=allowed,
+    )
+    model = make_classifier(config, seed=int(rng.integers(2**63)))
+    model.fit(training_set.X, training_set.y)
+    return TrainedAttack(
+        config=config,
+        model=model,
+        neighborhood=fraction,
+        limit_axis=axis,
+        train_time=time.perf_counter() - start,
+        n_training_samples=training_set.n_samples,
+    )
+
+
+def _candidate_chunks(
+    trained: TrainedAttack,
+    view: SplitView,
+    chunk_size: int,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Candidate pair chunks per the configuration's testing rule."""
+    if trained.neighborhood is not None:
+        radius = neighborhood_radius(view, trained.neighborhood)
+        i, j = NeighborhoodIndex(view, radius).candidate_pairs()
+        for start in range(0, len(i), chunk_size):
+            yield i[start : start + chunk_size], j[start : start + chunk_size]
+    else:
+        for i, j in iter_all_pairs(len(view), chunk_size):
+            legal = legal_pair_mask(view, i, j)
+            yield i[legal], j[legal]
+
+
+def evaluate_attack(
+    trained: TrainedAttack,
+    view: SplitView,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> AttackResult:
+    """Classify the test view's candidate pairs and record probabilities.
+
+    Pairs violating the "Y" limit (when active) are classified as
+    disconnected without testing -- they simply never enter the result,
+    which is also what halves the runtime in Table IV.
+    """
+    start = time.perf_counter()
+    arr = view.arrays()
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+    n_evaluated = 0
+    for i, j in _candidate_chunks(trained, view, chunk_size):
+        if trained.limit_axis == "y":
+            aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
+            i, j = i[aligned], j[aligned]
+        elif trained.limit_axis == "x":
+            aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
+            i, j = i[aligned], j[aligned]
+        if len(i) == 0:
+            continue
+        X = compute_pair_features(view, i, j, trained.config.features)
+        p = trained.model.predict_proba(X)
+        n_evaluated += len(i)
+        out_i.append(i)
+        out_j.append(j)
+        out_p.append(p)
+    if out_i:
+        pair_i = np.concatenate(out_i)
+        pair_j = np.concatenate(out_j)
+        prob = np.concatenate(out_p)
+    else:
+        pair_i = np.zeros(0, dtype=int)
+        pair_j = np.zeros(0, dtype=int)
+        prob = np.zeros(0)
+    return AttackResult(
+        view=view,
+        pair_i=pair_i,
+        pair_j=pair_j,
+        prob=prob,
+        config_name=trained.config.name,
+        train_time=trained.train_time,
+        test_time=time.perf_counter() - start,
+        n_pairs_evaluated=n_evaluated,
+    )
+
+
+def loo_folds(
+    views: list[SplitView],
+) -> Iterator[tuple[SplitView, list[SplitView]]]:
+    """Yield ``(test_view, training_views)`` for leave-one-out CV."""
+    for k, test_view in enumerate(views):
+        yield test_view, views[:k] + views[k + 1 :]
+
+
+def run_loo(
+    config: AttackConfig,
+    views: list[SplitView],
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[AttackResult]:
+    """Leave-one-out evaluation of one configuration over a suite."""
+    if len(views) < 2:
+        raise ValueError("leave-one-out needs at least two views")
+    results = []
+    for fold, (test_view, training_views) in enumerate(loo_folds(views)):
+        trained = train_attack(config, training_views, seed=seed + fold)
+        results.append(evaluate_attack(trained, test_view, chunk_size))
+    return results

@@ -1,0 +1,69 @@
+"""Design obfuscation by v-pin coordinate noise (paper Section III-I).
+
+The paper imitates obfuscated (perturbed) routing by adding Gaussian white
+noise to the y-coordinate of every v-pin, with the standard deviation
+expressed as a fraction of the layout's y-extent (1-2 % in Table VI).
+Training and testing views are perturbed identically in distribution (but
+with independent draws), and the routing-congestion feature is recomputed
+on the perturbed positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..layout.geometry import Point
+from ..splitmfg.split import SplitView
+from ..splitmfg.vpin_features import routing_congestion
+
+
+def with_y_noise(
+    view: SplitView,
+    sd_fraction: float,
+    rng: np.random.Generator,
+) -> SplitView:
+    """A copy of ``view`` with noisy v-pin y-coordinates.
+
+    ``sd_fraction`` is the noise standard deviation as a fraction of the
+    die height (the paper's "SD = 1%/2% of the layout size in
+    y-direction").  Positions are clamped to the die.
+    """
+    if sd_fraction < 0:
+        raise ValueError("sd_fraction must be non-negative")
+    if sd_fraction == 0:
+        return view
+    sd = sd_fraction * view.die_height
+    noisy_vpins = []
+    for vpin in view.vpins:
+        noise = float(rng.normal(0.0, sd))
+        new_y = min(max(vpin.location.y + noise, 0.0), view.die_height)
+        noisy_vpins.append(
+            replace(vpin, location=Point(vpin.location.x, new_y))
+        )
+    noisy = SplitView(
+        design_name=view.design_name,
+        split_layer=view.split_layer,
+        die_width=view.die_width,
+        die_height=view.die_height,
+        vpins=noisy_vpins,
+        num_via_layers=view.num_via_layers,
+        top_metal_direction=view.top_metal_direction,
+    )
+    # Routing congestion is a function of v-pin positions; refresh it.
+    rc = routing_congestion(noisy)
+    for vpin, rc_value in zip(noisy.vpins, rc):
+        vpin.rc = float(rc_value)
+    noisy.invalidate_cache()
+    return noisy
+
+
+def obfuscate_suite(
+    views: list[SplitView],
+    sd_fraction: float,
+    seed: int = 0,
+) -> list[SplitView]:
+    """Apply independent y-noise to every view of a suite."""
+    rng = np.random.default_rng(seed)
+    return [with_y_noise(view, sd_fraction, rng) for view in views]

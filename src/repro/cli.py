@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` -- build benchmark designs and save them as JSON;
+* ``split``    -- cut a saved design and print its v-pin statistics;
+* ``attack``   -- run a leave-one-out attack over the suite and print
+  the headline metrics for one configuration;
+* ``experiments`` -- run the named paper experiments (or all of them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .layout.io import save_design
+    from .synth.benchmarks import BENCHMARK_SPECS, build_benchmark, spec_by_name
+
+    specs = (
+        [spec_by_name(n) for n in args.names] if args.names else list(BENCHMARK_SPECS)
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        design = build_benchmark(spec, scale=args.scale)
+        path = out_dir / f"{spec.name}.json"
+        save_design(design, path)
+        print(
+            f"{spec.name}: {design.netlist.num_cells} cells, "
+            f"{design.netlist.num_nets} nets -> {path}"
+        )
+    return 0
+
+
+def _cmd_split(args: argparse.Namespace) -> int:
+    from .layout.io import load_design
+    from .layout.visualize import vpin_map
+    from .splitmfg.statistics import describe
+    from .splitmfg.vpin_features import make_split_view
+
+    design = load_design(args.design)
+    view = make_split_view(design, args.layer)
+    print(describe(view))
+    if args.map and len(view):
+        print()
+        print(vpin_map(view))
+    return 0
+
+
+def _cmd_challenge(args: argparse.Namespace) -> int:
+    from .layout.io import load_design
+    from .splitmfg.challenge import save_challenge
+    from .splitmfg.vpin_features import make_split_view
+
+    design = load_design(args.design)
+    view = make_split_view(design, args.layer)
+    stem = Path(args.design).stem.replace(".json", "")
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    public = out_dir / f"{stem}.L{args.layer}.public.json"
+    oracle = out_dir / f"{stem}.L{args.layer}.oracle.json"
+    save_challenge(view, public, oracle if not args.no_oracle else None)
+    print(f"{len(view)} v-pins -> {public}")
+    if not args.no_oracle:
+        print(f"ground truth -> {oracle}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .attack.config import CONFIGS_BY_NAME
+    from .attack.framework import run_loo
+    from .attack.proximity import pa_success_rate
+    from .reporting import ascii_table, format_percent
+    from .splitmfg.vpin_features import make_split_view
+    from .synth.benchmarks import build_suite
+
+    config = CONFIGS_BY_NAME.get(args.config)
+    if config is None:
+        print(
+            f"unknown configuration {args.config!r}; "
+            f"choose from {sorted(CONFIGS_BY_NAME)}",
+            file=sys.stderr,
+        )
+        return 2
+    designs = build_suite(scale=args.scale)
+    views = [make_split_view(d, args.layer) for d in designs]
+    results = run_loo(config, views, seed=args.seed)
+    rows = [
+        [
+            r.view.design_name,
+            len(r.view),
+            r.mean_loc_size_at_threshold(0.5),
+            format_percent(r.accuracy_at_threshold(0.5)),
+            format_percent(pa_success_rate(r, pa_fraction=0.02)),
+            f"{r.runtime:.1f}s",
+        ]
+        for r in results
+    ]
+    print(
+        ascii_table(
+            ("design", "#v-pins", "|LoC|@0.5", "acc@0.5", "PA@2%", "runtime"),
+            rows,
+            title=f"{config.name} attack, split layer {args.layer}, scale {args.scale}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.run_all import run_all
+
+    outputs = run_all(
+        scale=args.scale,
+        seed=args.seed,
+        only=tuple(args.only) if args.only else None,
+    )
+    for name, output in outputs.items():
+        print(f"\n## {name}\n")
+        print(output.report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ML attacks on split manufacturing (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="build and save benchmarks")
+    generate.add_argument("--out", default="designs")
+    generate.add_argument("--scale", type=float, default=0.3)
+    generate.add_argument("--names", nargs="*", default=None)
+    generate.set_defaults(func=_cmd_generate)
+
+    split = sub.add_parser("split", help="cut a saved design")
+    split.add_argument("design")
+    split.add_argument("--layer", type=int, default=8)
+    split.add_argument("--map", action="store_true", help="ASCII v-pin density map")
+    split.set_defaults(func=_cmd_split)
+
+    challenge = sub.add_parser(
+        "challenge", help="package a saved design as a public challenge"
+    )
+    challenge.add_argument("design")
+    challenge.add_argument("--layer", type=int, default=8)
+    challenge.add_argument("--out", default="challenges")
+    challenge.add_argument("--no-oracle", action="store_true")
+    challenge.set_defaults(func=_cmd_challenge)
+
+    attack = sub.add_parser("attack", help="run a LOO attack on the suite")
+    attack.add_argument("--config", default="Imp-11")
+    attack.add_argument("--layer", type=int, default=8)
+    attack.add_argument("--scale", type=float, default=0.3)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=_cmd_attack)
+
+    experiments = sub.add_parser("experiments", help="run paper experiments")
+    experiments.add_argument("--scale", type=float, default=0.5)
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument("--only", nargs="*", default=None)
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

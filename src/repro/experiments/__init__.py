@@ -1,0 +1,17 @@
+"""One module per paper table/figure; see DESIGN.md for the index."""
+
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    clear_caches,
+    get_suite,
+    get_views,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentOutput",
+    "clear_caches",
+    "get_suite",
+    "get_views",
+]

@@ -1,0 +1,67 @@
+"""Shared experiment machinery: suite/view caching and output plumbing.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentOutput``
+and can be executed directly (``python -m repro.experiments.tableN``).
+``scale`` multiplies benchmark sizes; 1.0 is the repository's "full"
+reproduction scale, smaller values keep CI benches fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..layout.design import Design
+from ..splitmfg.split import SplitView
+from ..splitmfg.vpin_features import make_split_view
+from ..synth.benchmarks import build_suite
+
+#: Default scale for directly-run experiments.
+DEFAULT_SCALE = 0.5
+
+_suite_cache: dict[float, list[Design]] = {}
+_view_cache: dict[tuple[float, int], list[SplitView]] = {}
+
+
+def get_suite(scale: float = DEFAULT_SCALE) -> list[Design]:
+    """The five-design suite at ``scale`` (cached per process)."""
+    if scale not in _suite_cache:
+        _suite_cache[scale] = build_suite(scale=scale)
+    return _suite_cache[scale]
+
+
+def get_views(split_layer: int, scale: float = DEFAULT_SCALE) -> list[SplitView]:
+    """Split views of the whole suite at one layer (cached per process)."""
+    key = (scale, split_layer)
+    if key not in _view_cache:
+        _view_cache[key] = [
+            make_split_view(design, split_layer) for design in get_suite(scale)
+        ]
+    return _view_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop cached suites/views (tests use this to control memory)."""
+    _suite_cache.clear()
+    _view_cache.clear()
+
+
+@dataclass
+class ExperimentOutput:
+    """Rendered report plus the structured values behind it."""
+
+    experiment: str
+    report: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.report
+
+
+def standard_cli(description: str) -> argparse.Namespace:
+    """Common ``--scale/--seed`` CLI for ``python -m`` execution."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()

@@ -1,0 +1,231 @@
+"""Paper-vs-measured shape comparison (the backbone of EXPERIMENTS.md).
+
+Runs the core experiments and renders, for every table/figure, the
+paper's published value next to the measured one together with the
+*shape criterion* -- the qualitative relation that must hold for the
+reproduction to count (absolute values differ by construction: the
+substrate is a ~50x-scaled synthetic stand-in for the industrial
+layouts; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import paper_data
+from ..reporting import ascii_table
+from .common import DEFAULT_SCALE, ExperimentOutput, standard_cli
+from . import figure7, table1, table2, table3, table4, table5, table6
+
+
+def _ratio(a: float | None, b: float | None) -> str:
+    if a is None or b is None or b == 0:
+        return "--"
+    return f"{a / b:.2f}x"
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentOutput:
+    """Run the comparison at ``scale`` (see module docstring)."""
+    rows: list[tuple[str, str, str, str, str]] = []
+    checks: dict[str, bool] = {}
+
+    def add(
+        experiment: str,
+        criterion: str,
+        paper: str,
+        measured: str,
+        holds: bool,
+    ) -> None:
+        checks[f"{experiment}: {criterion}"] = holds
+        rows.append(
+            (experiment, criterion, paper, measured, "YES" if holds else "NO")
+        )
+
+    # ------------------------------------------------------------- Table I
+    t1 = table1.run(scale=scale, seed=seed, layers=(8, 6))
+    for layer in (8, 6):
+        per_design = t1.data[layer]
+        prior_loc = float(np.mean([r["prior_loc"] for r in per_design]))
+        ml_loc = float(
+            np.mean(
+                [r["Imp-11_loc"] for r in per_design if r["Imp-11_loc"] is not None]
+            )
+        )
+        paper_ratio = (
+            paper_data.TABLE1_AVG_LOC_AT_PRIOR_ACCURACY[layer]["Imp-11"]
+            / paper_data.TABLE1_AVG_LOC_AT_PRIOR_ACCURACY[layer]["[5]"]
+        )
+        add(
+            f"Table I (L{layer})",
+            "ML |LoC| << [5] |LoC| at equal accuracy",
+            f"ratio {paper_ratio:.3f}",
+            f"ratio {ml_loc / prior_loc:.3f}",
+            ml_loc < prior_loc,
+        )
+        prior_acc = float(np.mean([r["prior_acc"] for r in per_design]))
+        ml_acc = float(np.mean([r["Imp-11_acc"] for r in per_design]))
+        paper_ml = paper_data.TABLE1_AVG_ACCURACY_AT_PRIOR_LOC[layer]["Imp-11"]
+        paper_prior = paper_data.TABLE1_AVG_ACCURACY_AT_PRIOR_LOC[layer]["[5]"]
+        add(
+            f"Table I (L{layer})",
+            "ML accuracy > [5] accuracy at equal |LoC|",
+            f"{paper_ml:.1%} vs {paper_prior:.1%}",
+            f"{ml_acc:.1%} vs {prior_acc:.1%}",
+            ml_acc > prior_acc,
+        )
+
+    # ------------------------------------------------------------ Table II
+    t2 = table2.run(scale=scale, seed=seed, layers=(6,))
+    data = t2.data[6]
+    paper_speedup = (
+        paper_data.TABLE2_RUNTIME_MINUTES[6]["RandomTree[18]"]
+        / paper_data.TABLE2_RUNTIME_MINUTES[6]["REPTree"]
+    )
+    measured_speedup = data["randomtree_runtime"] / max(
+        data["reptree_runtime"], 1e-9
+    )
+    add(
+        "Table II (L6)",
+        "REPTree several-fold faster at equal quality",
+        f"{paper_speedup:.0f}x",
+        f"{measured_speedup:.1f}x",
+        measured_speedup > 2.0,
+    )
+    rt_acc = float(np.mean([d["rt_acc"] for d in data["per_design"]]))
+    rep_acc = float(np.mean([d["rep_acc"] for d in data["per_design"]]))
+    add(
+        "Table II (L6)",
+        "quality gap within a few points",
+        f"{paper_data.TABLE2_QUALITY[6]['RandomTree[18]'][1]:.1%} vs "
+        f"{paper_data.TABLE2_QUALITY[6]['REPTree'][1]:.1%}",
+        f"{rt_acc:.1%} vs {rep_acc:.1%}",
+        abs(rt_acc - rep_acc) < 0.08,
+    )
+
+    # ----------------------------------------------------------- Table III
+    t3 = table3.run(scale=scale, seed=seed, layers=(8,))
+    pruned_loc = float(np.mean([d["pruned_loc"] for d in t3.data[8]]))
+    plain_loc = float(np.mean([d["plain_loc"] for d in t3.data[8]]))
+    add(
+        "Table III (L8)",
+        "two-level pruning shrinks LoCs",
+        f"{paper_data.TABLE3_LAYER8['two-level'][0]:.2f} vs "
+        f"{paper_data.TABLE3_LAYER8['no-pruning'][0]:.2f}",
+        f"{pruned_loc:.2f} vs {plain_loc:.2f}",
+        pruned_loc < plain_loc,
+    )
+
+    # ------------------------------------------------------------ Table IV
+    t4 = table4.run(scale=scale, seed=seed, layers=(8, 6))
+    acc8 = t4.data[8]["Imp-11"]["accuracy_at_fraction"][0.10]
+    acc6 = t4.data[6]["Imp-11"]["accuracy_at_fraction"][0.10]
+    add(
+        "Table IV",
+        "accuracy degrades from layer 8 to layer 6",
+        f"{paper_data.TABLE4_ACCURACY_AT_FRACTION[8]['Imp-11'][0.10]:.1%} -> "
+        f"{paper_data.TABLE4_ACCURACY_AT_FRACTION[6]['Imp-11'][0.10]:.1%}",
+        f"{acc8:.1%} -> {acc6:.1%}",
+        acc8 > acc6,
+    )
+    pairs_y = t4.data[8]["ML-9Y"]["pairs"]
+    pairs_plain = t4.data[8]["ML-9"]["pairs"]
+    paper_halving = (
+        paper_data.TABLE4_RUNTIME_SECONDS[8]["ML-9Y"]
+        / paper_data.TABLE4_RUNTIME_SECONDS[8]["ML-9"]
+    )
+    add(
+        "Table IV (L8)",
+        "Y-limit prunes most tested pairs (runtime ~halved)",
+        f"runtime x{paper_halving:.2f}",
+        f"pairs x{pairs_y / max(pairs_plain, 1):.2f}",
+        pairs_y < 0.6 * pairs_plain,
+    )
+
+    # ------------------------------------------------------------- Table V
+    t5 = table5.run(scale=scale, seed=seed, layers=(6,))
+    per_design = t5.data[6]["per_design"]
+    valid = float(np.mean([v["Imp-9 valid."] for v in per_design.values()]))
+    fixed = float(np.mean([v["Imp-9 t=0.5"] for v in per_design.values()]))
+    add(
+        "Table V (L6)",
+        "validated PA >= fixed-threshold PA",
+        f"{paper_data.TABLE5_VALIDATED_PA[6]['Imp-9']:.1%} vs "
+        f"{paper_data.TABLE5_FIXED_THRESHOLD_PA[6]:.1%}",
+        f"{valid:.1%} vs {fixed:.1%}",
+        valid >= fixed - 0.02,
+    )
+    prior = float(np.mean([v["[5]"] for v in per_design.values()]))
+    add(
+        "Table V (L6)",
+        "ML-driven PA beats prior work [5]",
+        f"{paper_data.TABLE5_VALIDATED_PA[6]['Imp-9']:.1%} vs "
+        f"{paper_data.TABLE5_PRIOR_SB1[6]:.1%} (sb1)",
+        f"{valid:.1%} vs {prior:.1%}",
+        valid > prior,
+    )
+
+    # ------------------------------------------------------------ Table VI
+    t6 = table6.run(scale=scale, seed=seed, layers=(6,), noise_levels=(0.0, 0.01, 0.02))
+    clean = float(np.mean([v[0.0] for v in t6.data[6].values()]))
+    one = float(np.mean([v[0.01] for v in t6.data[6].values()]))
+    two = float(np.mean([v[0.02] for v in t6.data[6].values()]))
+    add(
+        "Table VI (L6)",
+        "1% noise collapses PA success",
+        f"{paper_data.TABLE6_PA_UNDER_NOISE[6][0.0]:.1%} -> "
+        f"{paper_data.TABLE6_PA_UNDER_NOISE[6][0.01]:.1%}",
+        f"{clean:.1%} -> {one:.1%}",
+        one < 0.8 * clean,
+    )
+    add(
+        "Table VI (L6)",
+        "2% adds little over 1%",
+        f"{paper_data.TABLE6_PA_UNDER_NOISE[6][0.01]:.1%} -> "
+        f"{paper_data.TABLE6_PA_UNDER_NOISE[6][0.02]:.1%}",
+        f"{one:.1%} -> {two:.1%}",
+        abs(two - one) < 0.5 * max(clean - one, 1e-9),
+    )
+
+    # -------------------------------------------------------------- Fig. 7
+    f7 = figure7.run(scale=scale, seed=seed, layers=(8, 6))
+    gains8 = {
+        f: float(np.mean([f7.data[8][d][f]["info_gain"] for d in f7.data[8]]))
+        for f in paper_data.FIGURE7_LOCATION_FEATURES
+    }
+    top = max(gains8, key=lambda f: gains8[f])
+    add(
+        "Fig. 7 (L8)",
+        "DiffVpinY has the top info gain at layer 8",
+        paper_data.FIGURE7_TOP_FEATURE_LAYER8,
+        top,
+        top == paper_data.FIGURE7_TOP_FEATURE_LAYER8,
+    )
+    gain8 = gains8["DiffVpinY"]
+    gain6 = float(
+        np.mean([f7.data[6][d]["DiffVpinY"]["info_gain"] for d in f7.data[6]])
+    )
+    add(
+        "Fig. 7",
+        "DiffVpinY info gain decays below layer 8",
+        "high at L8, lower at L6/L4",
+        f"{gain8:.3f} -> {gain6:.3f}",
+        gain8 > gain6,
+    )
+
+    report = ascii_table(
+        ("experiment", "shape criterion", "paper", "measured", "holds"),
+        rows,
+        title="Paper-vs-measured shape comparison",
+    )
+    passed = sum(checks.values())
+    report += f"\n\n{passed}/{len(checks)} shape criteria hold."
+    return ExperimentOutput(
+        experiment="compare_paper",
+        report=report,
+        data={"checks": checks, "rows": rows},
+    )
+
+
+if __name__ == "__main__":
+    args = standard_cli("Paper-vs-measured comparison")
+    print(run(scale=args.scale, seed=args.seed).report)

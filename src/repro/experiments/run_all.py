@@ -1,0 +1,102 @@
+"""Run every table/figure experiment and emit a combined report.
+
+``python -m repro.experiments.run_all --scale 0.5 --out EXPERIMENTS.out``
+regenerates the full evaluation; the per-experiment sections are the
+inputs to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import (
+    ablation_calibration,
+    ablation_neighborhood,
+    compare_paper,
+    illustrations,
+    extension_buses,
+    extension_classifiers,
+    extension_defenses,
+    extension_matching,
+    extension_security,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from .common import DEFAULT_SCALE, ExperimentOutput
+
+ALL_EXPERIMENTS = (
+    ("table1", table1),
+    ("table2", table2),
+    ("table3", table3),
+    ("table4", table4),
+    ("table5", table5),
+    ("table6", table6),
+    ("figure4", figure4),
+    ("figure7", figure7),
+    ("figure8", figure8),
+    ("figure9", figure9),
+    ("figure10", figure10),
+    ("extension_matching", extension_matching),
+    ("extension_classifiers", extension_classifiers),
+    ("extension_defenses", extension_defenses),
+    ("extension_security", extension_security),
+    ("extension_buses", extension_buses),
+    ("ablation_neighborhood", ablation_neighborhood),
+    ("ablation_calibration", ablation_calibration),
+    ("illustrations", illustrations),
+    ("compare_paper", compare_paper),
+)
+
+
+def run_all(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    only: tuple[str, ...] | None = None,
+) -> dict[str, ExperimentOutput]:
+    """Run all (or the named) experiments; returns outputs by name."""
+    outputs: dict[str, ExperimentOutput] = {}
+    for name, module in ALL_EXPERIMENTS:
+        if only is not None and name not in only:
+            continue
+        start = time.perf_counter()
+        outputs[name] = module.run(scale=scale, seed=seed)
+        outputs[name].data["elapsed_seconds"] = time.perf_counter() - start
+    return outputs
+
+
+def main() -> None:
+    """CLI entry point: run experiments and print/save the report."""
+    parser = argparse.ArgumentParser(description="Run all paper experiments")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", default=None)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    outputs = run_all(
+        scale=args.scale,
+        seed=args.seed,
+        only=tuple(args.only) if args.only else None,
+    )
+    sections = []
+    for name, output in outputs.items():
+        elapsed = output.data.get("elapsed_seconds", 0.0)
+        sections.append(f"## {name} (elapsed {elapsed:.1f}s)\n\n{output.report}")
+    text = "\n\n".join(sections)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

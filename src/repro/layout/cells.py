@@ -1,0 +1,206 @@
+"""Standard-cell library modeling.
+
+The attack's ``InArea``/``OutArea`` features exist because driver strength
+is highly correlated with cell area (paper Section III-A).  The synthetic
+library therefore provides each logic function in several drive strengths
+with proportionally growing area, plus a handful of large macros to
+reproduce the area outliers the paper observes in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PinDirection(enum.Enum):
+    """Direction of a cell pin as seen from the cell."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True, slots=True)
+class PinSpec:
+    """A pin of a cell master, with its placement offset inside the cell."""
+
+    name: str
+    direction: PinDirection
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CellMaster:
+    """A library cell: geometry plus typed pins.
+
+    ``drive_strength`` is a relative measure (1 = minimum size); area
+    scales with it, which is the correlation the area features rely on.
+    """
+
+    name: str
+    width: float
+    height: float
+    pins: tuple[PinSpec, ...]
+    drive_strength: float = 1.0
+    is_macro: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"cell {self.name} has non-positive dimensions")
+        names = [p.name for p in self.pins]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cell {self.name} has duplicate pin names")
+        if not any(p.direction is PinDirection.OUTPUT for p in self.pins) and not (
+            self.is_macro
+        ):
+            raise ValueError(f"standard cell {self.name} has no output pin")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def input_pins(self) -> tuple[PinSpec, ...]:
+        return tuple(p for p in self.pins if p.direction is PinDirection.INPUT)
+
+    @property
+    def output_pins(self) -> tuple[PinSpec, ...]:
+        return tuple(p for p in self.pins if p.direction is PinDirection.OUTPUT)
+
+    def pin(self, name: str) -> PinSpec:
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise KeyError(f"cell {self.name} has no pin {name!r}")
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """An immutable collection of cell masters, indexed by name."""
+
+    name: str
+    masters: tuple[CellMaster, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [m.name for m in self.masters]
+        if len(set(names)) != len(names):
+            raise ValueError("library contains duplicate master names")
+
+    def __len__(self) -> int:
+        return len(self.masters)
+
+    def __contains__(self, name: str) -> bool:
+        return any(m.name == name for m in self.masters)
+
+    def master(self, name: str) -> CellMaster:
+        for m in self.masters:
+            if m.name == name:
+                return m
+        raise KeyError(f"library {self.name} has no master {name!r}")
+
+    @property
+    def standard_cells(self) -> tuple[CellMaster, ...]:
+        return tuple(m for m in self.masters if not m.is_macro)
+
+    @property
+    def macros(self) -> tuple[CellMaster, ...]:
+        return tuple(m for m in self.masters if m.is_macro)
+
+
+def _pins_for(function: str, n_inputs: int, width: float) -> tuple[PinSpec, ...]:
+    """Evenly spread input pins along the cell, output pin at the right."""
+    step = width / (n_inputs + 1)
+    inputs = tuple(
+        PinSpec(
+            name=chr(ord("A") + i),
+            direction=PinDirection.INPUT,
+            offset_x=step * (i + 1),
+            offset_y=0.0,
+        )
+        for i in range(n_inputs)
+    )
+    output = PinSpec(
+        name="Y" if function != "DFF" else "Q",
+        direction=PinDirection.OUTPUT,
+        offset_x=width,
+        offset_y=0.0,
+    )
+    return inputs + (output,)
+
+
+_FUNCTIONS: tuple[tuple[str, int, float], ...] = (
+    # (function, n_inputs, base width in row heights)
+    ("INV", 1, 1.0),
+    ("BUF", 1, 1.5),
+    ("NAND2", 2, 2.0),
+    ("NOR2", 2, 2.0),
+    ("AND2", 2, 2.5),
+    ("OR2", 2, 2.5),
+    ("XOR2", 2, 3.0),
+    ("NAND3", 3, 3.0),
+    ("NOR3", 3, 3.0),
+    ("AOI21", 3, 3.5),
+    ("OAI21", 3, 3.5),
+    ("MUX2", 3, 4.0),
+    ("DFF", 2, 6.0),
+)
+
+_DRIVE_STRENGTHS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+
+
+def make_standard_library(
+    row_height: float = 8.0,
+    macro_sizes: tuple[tuple[float, float], ...] = ((120.0, 160.0), (200.0, 120.0)),
+) -> CellLibrary:
+    """Build the default synthetic library.
+
+    Every logic function comes in drive strengths X1..X8 whose widths (and
+    therefore areas) scale with the strength -- the correlation that makes
+    ``InArea``/``OutArea`` informative.  Two macro masters provide the
+    large-area outliers seen in the paper's feature distributions.
+    """
+    masters: list[CellMaster] = []
+    for function, n_inputs, base_width in _FUNCTIONS:
+        for strength in _DRIVE_STRENGTHS:
+            # Width grows sub-linearly with drive (shared diffusion), which
+            # keeps the area/drive correlation strong but not exactly 1.0.
+            width = row_height * base_width * (0.55 + 0.45 * strength)
+            masters.append(
+                CellMaster(
+                    name=f"{function}_X{strength:g}",
+                    width=width,
+                    height=row_height,
+                    pins=_pins_for(function, n_inputs, width),
+                    drive_strength=strength,
+                )
+            )
+    for i, (w, h) in enumerate(macro_sizes, start=1):
+        pins = tuple(
+            PinSpec(
+                name=f"D{j}",
+                direction=PinDirection.INPUT,
+                offset_x=w * (j + 1) / 9.0,
+                offset_y=0.0,
+            )
+            for j in range(4)
+        ) + tuple(
+            PinSpec(
+                name=f"Q{j}",
+                direction=PinDirection.OUTPUT,
+                offset_x=w * (j + 1) / 9.0,
+                offset_y=h,
+            )
+            for j in range(4)
+        )
+        masters.append(
+            CellMaster(
+                name=f"MACRO{i}",
+                width=w,
+                height=h,
+                pins=pins,
+                drive_strength=16.0,
+                is_macro=True,
+            )
+        )
+    return CellLibrary(name="synthlib", masters=tuple(masters))

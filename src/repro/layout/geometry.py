@@ -1,0 +1,150 @@
+"""Planar geometry primitives used throughout the layout substrate.
+
+All coordinates are in abstract database units (DBU).  The layout substrate
+never assumes a particular physical unit; the attack only consumes relative
+distances, so only consistency matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point on a single layer of the layout plane."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def chebyshev(self, other: "Point") -> float:
+        """Chebyshev (L-infinity) distance to ``other``."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle, defined by inclusive corners."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Bounding rectangle of two points (in any order)."""
+        return cls(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter wirelength (HPWL) of the rectangle."""
+        return self.width + self.height
+
+    def contains(self, p: Point, tol: float = 0.0) -> bool:
+        """Whether ``p`` lies inside (with optional boundary tolerance)."""
+        return (
+            self.xlo - tol <= p.x <= self.xhi + tol
+            and self.ylo - tol <= p.y <= self.yhi + tol
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two rectangles overlap (boundary touch counts)."""
+        return not (
+            other.xlo > self.xhi
+            or other.xhi < self.xlo
+            or other.ylo > self.yhi
+            or other.yhi < self.ylo
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rect(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Project ``p`` onto the rectangle."""
+        return Point(
+            min(max(p.x, self.xlo), self.xhi), min(max(p.y, self.ylo), self.yhi)
+        )
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Bounding rectangle of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box() requires at least one point")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def hpwl(points: Iterable[Point]) -> float:
+    """Half-perimeter wirelength of a set of pin locations."""
+    return bounding_box(points).half_perimeter
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid() requires at least one point")
+    return Point(
+        sum(p.x for p in pts) / len(pts),
+        sum(p.y for p in pts) / len(pts),
+    )
+
+
+def snap(value: float, pitch: float) -> float:
+    """Snap ``value`` to the nearest multiple of ``pitch``."""
+    if pitch <= 0:
+        raise ValueError(f"pitch must be positive, got {pitch}")
+    return round(value / pitch) * pitch
+
+
+def snap_point(p: Point, pitch: float) -> Point:
+    """Snap both coordinates of ``p`` to the routing ``pitch``."""
+    return Point(snap(p.x, pitch), snap(p.y, pitch))

@@ -1,0 +1,150 @@
+"""Design serialization: save/load routed designs as JSON.
+
+The paper's attacker starts from a GDSII layout file; this module is the
+repository's equivalent interchange point, so challenge instances can be
+generated once and attacked many times (or shipped to someone else)
+without re-running the generator.  The format is a stable, versioned
+JSON document; cell masters are referenced by library name and resolved
+against :func:`repro.layout.cells.make_standard_library` on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .cells import CellLibrary, make_standard_library
+from .design import Design, Route, RouteSegment, Via
+from .geometry import Point, Rect
+from .netlist import CellInstance, Net, Netlist, PinRef
+from .technology import Direction, MetalLayer, Technology
+
+FORMAT_VERSION = 1
+
+
+def design_to_dict(design: Design) -> dict[str, Any]:
+    """Serialize a design to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": design.name,
+        "die": [design.die.xlo, design.die.ylo, design.die.xhi, design.die.yhi],
+        "technology": {
+            "name": design.technology.name,
+            "metal_layers": [
+                {
+                    "index": m.index,
+                    "name": m.name,
+                    "direction": m.direction.value,
+                    "pitch": m.pitch,
+                    "width": m.width,
+                }
+                for m in design.technology.metal_layers
+            ],
+        },
+        "library": design.library.name,
+        "cells": [
+            {
+                "name": c.name,
+                "master": c.master.name,
+                "location": [c.location.x, c.location.y] if c.location else None,
+            }
+            for c in design.netlist.cells
+        ],
+        "nets": [
+            {
+                "name": n.name,
+                "driver": [n.driver.cell, n.driver.pin],
+                "sinks": [[s.cell, s.pin] for s in n.sinks],
+            }
+            for n in design.netlist.nets
+        ],
+        "routes": {
+            name: {
+                "segments": [
+                    [s.layer, s.a.x, s.a.y, s.b.x, s.b.y] for s in route.segments
+                ],
+                "vias": [[v.layer, v.at.x, v.at.y] for v in route.vias],
+            }
+            for name, route in design.routes.items()
+        },
+    }
+
+
+def design_from_dict(
+    data: dict[str, Any], library: CellLibrary | None = None
+) -> Design:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported design format version: {version!r}")
+    if library is None:
+        library = make_standard_library()
+    if library.name != data["library"]:
+        raise ValueError(
+            f"design was saved against library {data['library']!r}, "
+            f"got {library.name!r}"
+        )
+    technology = Technology(
+        name=data["technology"]["name"],
+        metal_layers=tuple(
+            MetalLayer(
+                index=m["index"],
+                name=m["name"],
+                direction=Direction(m["direction"]),
+                pitch=m["pitch"],
+                width=m["width"],
+            )
+            for m in data["technology"]["metal_layers"]
+        ),
+    )
+    netlist = Netlist(name=data["name"], library=library)
+    for cell in data["cells"]:
+        location = cell["location"]
+        netlist.add_cell(
+            CellInstance(
+                name=cell["name"],
+                master=library.master(cell["master"]),
+                location=Point(*location) if location else None,
+            )
+        )
+    for net in data["nets"]:
+        netlist.add_net(
+            Net(
+                name=net["name"],
+                driver=PinRef(net["driver"][0], net["driver"][1]),
+                sinks=tuple(PinRef(c, p) for c, p in net["sinks"]),
+            )
+        )
+    routes = {}
+    for name, route in data["routes"].items():
+        routes[name] = Route(
+            net=name,
+            segments=tuple(
+                RouteSegment(layer, Point(ax, ay), Point(bx, by))
+                for layer, ax, ay, bx, by in route["segments"]
+            ),
+            vias=tuple(
+                Via(layer, Point(x, y)) for layer, x, y in route["vias"]
+            ),
+        )
+    die = Rect(*data["die"])
+    return Design(
+        name=data["name"],
+        technology=technology,
+        netlist=netlist,
+        die=die,
+        routes=routes,
+    )
+
+
+def save_design(design: Design, path: str | Path) -> None:
+    """Write a design to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(design_to_dict(design), handle)
+
+
+def load_design(path: str | Path, library: CellLibrary | None = None) -> Design:
+    """Read a design from a JSON file."""
+    with open(path) as handle:
+        return design_from_dict(json.load(handle), library)

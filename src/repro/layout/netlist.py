@@ -1,0 +1,161 @@
+"""Gate-level netlist: placed cell instances and the nets connecting them.
+
+A net connects exactly one driver (cell output pin) to one or more sinks
+(cell input pins).  This single-driver invariant is what makes the paper's
+pair-legality rule well defined: a v-pin pair in which *both* sides attach
+to output pins can never belong to the same net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .cells import CellLibrary, CellMaster, PinDirection
+from .geometry import Point, Rect
+
+
+@dataclass(slots=True)
+class CellInstance:
+    """A placed occurrence of a library master.
+
+    ``location`` is the lower-left corner of the cell outline; ``None``
+    until placement.
+    """
+
+    name: str
+    master: CellMaster
+    location: Point | None = None
+
+    @property
+    def is_placed(self) -> bool:
+        return self.location is not None
+
+    @property
+    def area(self) -> float:
+        return self.master.area
+
+    @property
+    def outline(self) -> Rect:
+        if self.location is None:
+            raise ValueError(f"cell {self.name} is not placed")
+        return Rect(
+            self.location.x,
+            self.location.y,
+            self.location.x + self.master.width,
+            self.location.y + self.master.height,
+        )
+
+    def pin_location(self, pin_name: str) -> Point:
+        """Absolute location of a pin of this (placed) instance."""
+        if self.location is None:
+            raise ValueError(f"cell {self.name} is not placed")
+        spec = self.master.pin(pin_name)
+        return Point(self.location.x + spec.offset_x, self.location.y + spec.offset_y)
+
+
+@dataclass(frozen=True, slots=True)
+class PinRef:
+    """Reference to one pin of one cell instance, by cell index."""
+
+    cell: int
+    pin: str
+
+
+@dataclass(slots=True)
+class Net:
+    """A logical net: one driver pin plus one or more sink pins."""
+
+    name: str
+    driver: PinRef
+    sinks: tuple[PinRef, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name} has no sinks")
+
+    @property
+    def pins(self) -> tuple[PinRef, ...]:
+        return (self.driver,) + self.sinks
+
+    @property
+    def degree(self) -> int:
+        return 1 + len(self.sinks)
+
+
+@dataclass
+class Netlist:
+    """Cells plus nets, with structural validation."""
+
+    name: str
+    library: CellLibrary
+    cells: list[CellInstance] = field(default_factory=list)
+    nets: list[Net] = field(default_factory=list)
+
+    def add_cell(self, cell: CellInstance) -> int:
+        """Append a cell and return its index."""
+        self.cells.append(cell)
+        return len(self.cells) - 1
+
+    def add_net(self, net: Net) -> None:
+        """Append a net after validating its pin references."""
+        self._validate_net(net)
+        self.nets.append(net)
+
+    def _validate_net(self, net: Net) -> None:
+        for ref in net.pins:
+            if not 0 <= ref.cell < len(self.cells):
+                raise ValueError(f"net {net.name}: cell index {ref.cell} out of range")
+            master = self.cells[ref.cell].master
+            spec = master.pin(ref.pin)  # raises KeyError on unknown pin
+            expected = (
+                PinDirection.OUTPUT if ref == net.driver else PinDirection.INPUT
+            )
+            if spec.direction is not expected:
+                raise ValueError(
+                    f"net {net.name}: pin {master.name}.{ref.pin} has direction "
+                    f"{spec.direction.value}, expected {expected.value}"
+                )
+
+    def pin_direction(self, ref: PinRef) -> PinDirection:
+        """Direction of the referenced pin."""
+        return self.cells[ref.cell].master.pin(ref.pin).direction
+
+    def pin_location(self, ref: PinRef) -> Point:
+        """Absolute placed location of the referenced pin."""
+        return self.cells[ref.cell].pin_location(ref.pin)
+
+    def cell_of(self, ref: PinRef) -> CellInstance:
+        return self.cells[ref.cell]
+
+    def all_pin_locations(self) -> Iterator[tuple[PinRef, Point]]:
+        """Iterate over every *connected* pin of every net with its location."""
+        for net in self.nets:
+            for ref in net.pins:
+                yield ref, self.pin_location(ref)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def validate(self) -> None:
+        """Full structural check (used by tests and generators)."""
+        names = [c.name for c in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate cell instance names")
+        net_names = [n.name for n in self.nets]
+        if len(set(net_names)) != len(net_names):
+            raise ValueError("duplicate net names")
+        driven: set[tuple[int, str]] = set()
+        for net in self.nets:
+            self._validate_net(net)
+            key = (net.driver.cell, net.driver.pin)
+            if key in driven:
+                raise ValueError(
+                    f"output pin {key} drives more than one net ({net.name})"
+                )
+            driven.add(key)

@@ -1,0 +1,154 @@
+"""Back-end technology description: the metal/via layer stack.
+
+The paper's setup (ISPD-2011 benchmarks) uses 9 metal layers and 8 via
+layers with a 4x variation in wire width/pitch across the stack and
+unidirectional routing per layer.  Metal layers alternate horizontal and
+vertical; the *top* metal layer (M9) is horizontal, which is what makes
+matching v-pin pairs at split layer 8 share a y-coordinate (paper
+Section III-G).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    @property
+    def other(self) -> "Direction":
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+
+@dataclass(frozen=True, slots=True)
+class MetalLayer:
+    """One metal layer of the stack.
+
+    ``index`` is 1-based (M1 is the lowest, adjacent to the cells).
+    ``pitch`` is the routing track pitch and ``width`` the default wire
+    width, both in DBU.
+    """
+
+    index: int
+    name: str
+    direction: Direction
+    pitch: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(f"metal layer index must be >= 1, got {self.index}")
+        if self.pitch <= 0 or self.width <= 0:
+            raise ValueError(f"pitch/width must be positive on {self.name}")
+
+
+@dataclass(frozen=True, slots=True)
+class Technology:
+    """An ordered stack of metal layers plus the implied via layers.
+
+    Via layer ``k`` sits between metal layers ``k`` and ``k + 1``; a split
+    at via layer ``k`` gives the attacker all metal at or below ``k`` and
+    hides all metal at or above ``k + 1``.
+    """
+
+    name: str
+    metal_layers: tuple[MetalLayer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.metal_layers) < 2:
+            raise ValueError("a technology needs at least two metal layers")
+        for i, layer in enumerate(self.metal_layers, start=1):
+            if layer.index != i:
+                raise ValueError(
+                    f"metal layers must be contiguous from 1; "
+                    f"position {i} holds {layer.name} (index {layer.index})"
+                )
+
+    @property
+    def num_metal_layers(self) -> int:
+        return len(self.metal_layers)
+
+    @property
+    def num_via_layers(self) -> int:
+        return self.num_metal_layers - 1
+
+    @property
+    def top_metal(self) -> MetalLayer:
+        return self.metal_layers[-1]
+
+    @property
+    def highest_via_layer(self) -> int:
+        """Index of the topmost via layer (split here hides only top metal)."""
+        return self.num_via_layers
+
+    def metal(self, index: int) -> MetalLayer:
+        """Metal layer by 1-based index."""
+        if not 1 <= index <= self.num_metal_layers:
+            raise ValueError(
+                f"metal index {index} out of range 1..{self.num_metal_layers}"
+            )
+        return self.metal_layers[index - 1]
+
+    def direction(self, index: int) -> Direction:
+        """Preferred direction of metal layer ``index``."""
+        return self.metal(index).direction
+
+    def is_valid_via_layer(self, index: int) -> bool:
+        return 1 <= index <= self.num_via_layers
+
+    def validate_via_layer(self, index: int) -> int:
+        if not self.is_valid_via_layer(index):
+            raise ValueError(
+                f"via layer {index} out of range 1..{self.num_via_layers}"
+            )
+        return index
+
+    def layers_above_via(self, via_layer: int) -> tuple[MetalLayer, ...]:
+        """Metal layers hidden from the attacker for a split at ``via_layer``."""
+        self.validate_via_layer(via_layer)
+        return self.metal_layers[via_layer:]
+
+    def layers_at_or_below_via(self, via_layer: int) -> tuple[MetalLayer, ...]:
+        """Metal layers visible to the attacker for a split at ``via_layer``."""
+        self.validate_via_layer(via_layer)
+        return self.metal_layers[:via_layer]
+
+
+def make_default_technology(
+    num_metal_layers: int = 9,
+    base_pitch: float = 1.0,
+    width_variation: float = 4.0,
+) -> Technology:
+    """The paper's 9-metal-layer stack with ~4x wire size variation.
+
+    Directions alternate so that the top metal layer is HORIZONTAL (the
+    property exploited by the "Y"-suffixed configurations).  Pitch and
+    width grow geometrically from M1 to M9 by ``width_variation`` overall,
+    mirroring the coarse upper layers of the ISPD-2011 stack.
+    """
+    if num_metal_layers < 2:
+        raise ValueError("need at least two metal layers")
+    top_dir = Direction.HORIZONTAL
+    layers = []
+    for index in range(1, num_metal_layers + 1):
+        # Walk the alternation down from the (horizontal) top layer.
+        steps_from_top = num_metal_layers - index
+        direction = top_dir if steps_from_top % 2 == 0 else top_dir.other
+        grow = width_variation ** ((index - 1) / max(num_metal_layers - 1, 1))
+        layers.append(
+            MetalLayer(
+                index=index,
+                name=f"M{index}",
+                direction=direction,
+                pitch=base_pitch * grow,
+                width=0.5 * base_pitch * grow,
+            )
+        )
+    return Technology(name=f"generic-{num_metal_layers}lm", metal_layers=tuple(layers))

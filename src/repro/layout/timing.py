@@ -1,0 +1,116 @@
+"""Elmore-delay estimation over routed nets.
+
+The paper keeps ``TotalWirelength`` as a feature because "the wirelength
+of each net impacts timing" (Section III-B).  This module makes that
+relationship explicit: per-layer RC constants (resistance falls and
+capacitance rises with the wider upper layers), an Elmore-style delay
+estimate per net, and a helper that bounds the plausible combined length
+of a v-pin pair from a delay budget -- the physical justification for
+pruning pairs with absurd ``TotalWirelength``.
+
+The model is deliberately first-order (lumped RC per layer segment,
+unit driver resistance scaled by drive strength); only *relative* delays
+matter to the attack analyses built on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .design import Design, Route
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class RCModel:
+    """Per-unit-length RC constants derived from the layer geometry.
+
+    Resistance scales inversely with wire width; capacitance scales
+    roughly linearly with width (area term dominating at these feature
+    sizes).  ``unit_r``/``unit_c`` anchor the scales at M1.
+    """
+
+    technology: Technology
+    unit_r: float = 1.0
+    unit_c: float = 1.0
+    via_r: float = 2.0
+
+    def resistance_per_unit(self, layer: int) -> float:
+        """Sheet-resistance proxy of ``layer`` per unit length.
+
+        Upper layers are both wider *and* thicker, so resistance falls
+        quadratically with the width scale -- this is what makes long
+        nets faster on the top layers despite their higher capacitance
+        (otherwise the RC product would be scale-invariant and layer
+        promotion would buy nothing).
+        """
+        width = self.technology.metal(layer).width
+        base = self.technology.metal(1).width
+        return self.unit_r * (base / width) ** 2
+
+    def capacitance_per_unit(self, layer: int) -> float:
+        """Capacitance proxy of ``layer`` per unit length."""
+        width = self.technology.metal(layer).width
+        base = self.technology.metal(1).width
+        return self.unit_c * width / base
+
+
+def route_rc(route: Route, model: RCModel) -> tuple[float, float]:
+    """Total (resistance, capacitance) of a route under ``model``."""
+    resistance = 0.0
+    capacitance = 0.0
+    for seg in route.segments:
+        resistance += seg.length * model.resistance_per_unit(seg.layer)
+        capacitance += seg.length * model.capacitance_per_unit(seg.layer)
+    resistance += len(route.vias) * model.via_r
+    return resistance, capacitance
+
+
+def elmore_delay(
+    route: Route,
+    model: RCModel,
+    driver_resistance: float = 10.0,
+) -> float:
+    """First-order Elmore delay estimate of a routed net.
+
+    Lumped approximation: ``R_drv * C_total + (R_wire * C_wire) / 2``.
+    Good enough to rank nets and to translate a delay budget into a
+    wirelength bound; not a timer.
+    """
+    resistance, capacitance = route_rc(route, model)
+    return driver_resistance * capacitance + 0.5 * resistance * capacitance
+
+
+def design_delays(design: Design, model: RCModel | None = None) -> dict[str, float]:
+    """Elmore delay per net of a design."""
+    model = model or RCModel(design.technology)
+    delays = {}
+    for name, route in design.iter_routes():
+        driver_cell = design.netlist.cell_of(
+            next(n for n in design.netlist.nets if n.name == name).driver
+        )
+        # Stronger drivers have lower output resistance.
+        driver_resistance = 10.0 / max(driver_cell.master.drive_strength, 0.25)
+        delays[name] = elmore_delay(route, model, driver_resistance)
+    return delays
+
+
+def wirelength_budget(
+    design: Design,
+    percentile: float = 99.0,
+    model: RCModel | None = None,
+) -> float:
+    """A combined-wirelength bound implied by the design's own timing.
+
+    Takes the ``percentile`` of the observed per-net *capacitance-weighted*
+    lengths as the budget: a candidate v-pin pair whose combined FEOL
+    wirelength already exceeds what (almost) every real net tolerates is
+    physically implausible -- the reasoning the TotalWirelength feature
+    encodes implicitly.
+    """
+    import numpy as np
+
+    lengths = [route.wirelength for route in design.routes.values()]
+    if not lengths:
+        return 0.0
+    return float(np.percentile(lengths, percentile))

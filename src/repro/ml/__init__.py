@@ -1,0 +1,36 @@
+"""From-scratch machine-learning substrate (Weka-equivalent components)."""
+
+from .bagging import Bagging
+from .calibration import ReliabilityCurve, brier_score, calibration_report, reliability_curve
+from .feature_metrics import (
+    abs_correlation,
+    equal_frequency_bins,
+    fisher_ratio,
+    information_gain,
+    rank_features,
+)
+from .forest import RandomForest
+from .knn import KNNClassifier
+from .linear import LinearRegression
+from .logistic import LogisticRegression
+from .tree import DecisionTreeBase, RandomTree, REPTree
+
+__all__ = [
+    "Bagging",
+    "DecisionTreeBase",
+    "KNNClassifier",
+    "LinearRegression",
+    "LogisticRegression",
+    "REPTree",
+    "RandomForest",
+    "RandomTree",
+    "ReliabilityCurve",
+    "abs_correlation",
+    "brier_score",
+    "calibration_report",
+    "equal_frequency_bins",
+    "fisher_ratio",
+    "information_gain",
+    "rank_features",
+    "reliability_curve",
+]

@@ -1,0 +1,109 @@
+"""Probability-calibration diagnostics for the soft-voting classifier.
+
+The LoC-size control of Section III-F treats the ensemble output
+``p(v, v')`` as a tunable score; whether it is also a *calibrated
+probability* decides how interpretable a threshold like ``t = 0.5`` is.
+This module provides the standard diagnostics: a reliability curve
+(predicted vs empirical positive rate per bin), the Brier score, and the
+expected calibration error (ECE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned calibration data."""
+
+    bin_centers: tuple[float, ...]
+    predicted_mean: tuple[float, ...]
+    empirical_rate: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """Count-weighted mean |predicted - empirical| (ECE)."""
+        total = sum(self.counts)
+        if total == 0:
+            return 0.0
+        return float(
+            sum(
+                c * abs(p - e)
+                for c, p, e in zip(
+                    self.counts, self.predicted_mean, self.empirical_rate
+                )
+            )
+            / total
+        )
+
+
+def reliability_curve(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    bins: int = 10,
+) -> ReliabilityCurve:
+    """Bin predictions and compare against empirical positive rates."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if len(probabilities) != len(labels):
+        raise ValueError("probabilities and labels disagree on length")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    centers = []
+    predicted = []
+    empirical = []
+    counts = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (probabilities >= lo) & (
+            (probabilities < hi) if hi < 1.0 else (probabilities <= hi)
+        )
+        count = int(mask.sum())
+        centers.append(float((lo + hi) / 2))
+        counts.append(count)
+        if count:
+            predicted.append(float(probabilities[mask].mean()))
+            empirical.append(float(labels[mask].mean()))
+        else:
+            predicted.append(float((lo + hi) / 2))
+            empirical.append(float("nan"))
+    return ReliabilityCurve(
+        bin_centers=tuple(centers),
+        predicted_mean=tuple(predicted),
+        empirical_rate=tuple(
+            0.0 if e != e else e for e in empirical  # NaN -> 0 with count 0
+        ),
+        counts=tuple(counts),
+    )
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of the probabilities against binary labels."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if len(probabilities) != len(labels):
+        raise ValueError("probabilities and labels disagree on length")
+    if len(labels) == 0:
+        return 0.0
+    return float(np.mean((probabilities - labels) ** 2))
+
+
+def calibration_report(
+    probabilities: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> str:
+    """Text diagnostics block (reliability table + scores)."""
+    curve = reliability_curve(probabilities, labels, bins)
+    lines = ["calibration (predicted -> empirical, count)"]
+    for center, p, e, c in zip(
+        curve.bin_centers, curve.predicted_mean, curve.empirical_rate, curve.counts
+    ):
+        if c == 0:
+            continue
+        lines.append(f"  [{center:4.2f}]  {p:.2f} -> {e:.2f}   n={c}")
+    lines.append(f"  Brier score: {brier_score(probabilities, labels):.4f}")
+    lines.append(f"  ECE: {curve.expected_calibration_error:.4f}")
+    return "\n".join(lines)

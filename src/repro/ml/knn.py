@@ -1,0 +1,62 @@
+"""k-nearest-neighbors classifier.
+
+One of the alternative classifiers the paper's earlier study [18]
+compared against before settling on tree ensembles ("RandomForest ...
+for its best performance among all classifiers we experimented").
+Features are standardized internally since kNN is scale-sensitive --
+unlike trees -- which is itself one reason trees win on raw layout
+features with 10^3-range magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+_EPS = 1e-12
+
+
+class KNNClassifier:
+    """Binary kNN with probability output (positive-neighbor fraction)."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._tree: cKDTree | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y disagree on sample count")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._mean = X.mean(axis=0)
+        self._std = np.maximum(X.std(axis=0), _EPS)
+        self._tree = cKDTree(self._standardize(X))
+        self._y = y
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Fraction of positive labels among the k nearest neighbors."""
+        if self._tree is None or self._y is None:
+            raise RuntimeError("fit() first")
+        X = np.asarray(X, dtype=float)
+        k = min(self.k, len(self._y))
+        _dist, idx = self._tree.query(self._standardize(X), k=k)
+        neighbors = self._y[np.atleast_2d(idx.T).T]
+        return neighbors.reshape(len(X), k).mean(axis=1)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction at the probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)

@@ -1,0 +1,38 @@
+"""Ordinary least-squares linear regression.
+
+Used only by the prior-work baseline [5], which models a v-pin's expected
+match distance as a linear function of its congestion features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegression:
+    """OLS with intercept, via :func:`numpy.linalg.lstsq`."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y disagree on sample count")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        augmented = np.column_stack([X, np.ones(len(X))])
+        solution, *_ = np.linalg.lstsq(augmented, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("fit() first")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,84 @@
+"""Logistic regression trained with full-batch gradient descent.
+
+The linear-model representative in the classifier comparison; being a
+*linear* decision boundary on standardized features, it bounds what [5]'s
+linear modeling could achieve and shows why the paper moved to trees for
+layout features that are not linearly separable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression on standardized features."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        iterations: int = 300,
+        l2: float = 1e-4,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y disagree on sample count")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._mean = X.mean(axis=0)
+        self._std = np.maximum(X.std(axis=0), _EPS)
+        Z = self._standardize(X)
+        n, f = Z.shape
+        w = np.zeros(f)
+        b = 0.0
+        for _ in range(self.iterations):
+            p = _sigmoid(Z @ w + b)
+            error = p - y
+            grad_w = Z.T @ error / n + self.l2 * w
+            grad_b = float(error.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(y=1 | x) under the fitted model."""
+        if self.coef_ is None:
+            raise RuntimeError("fit() first")
+        Z = self._standardize(np.asarray(X, dtype=float))
+        return _sigmoid(Z @ self.coef_ + self.intercept_)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction at the probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)

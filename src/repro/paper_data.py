@@ -1,0 +1,158 @@
+"""The paper's published numbers, as structured reference data.
+
+Transcribed from the tables of Zeng/Zhang/Davoodi so that experiment
+reports can print paper-vs-measured comparisons mechanically and tests
+can assert the reproduction matches the paper's *shape* claims (who
+wins, by roughly what factor, where trends reverse).
+
+Benchmarks are keyed by their short names (``sb1`` = superblue1, ...);
+layer keys are split (via) layers.  All accuracies/rates are fractions
+in [0, 1].
+"""
+
+from __future__ import annotations
+
+BENCHMARKS: tuple[str, ...] = ("sb1", "sb5", "sb10", "sb12", "sb18")
+
+#: Table I -- #v-pins per design and split layer.
+TABLE1_NUM_VPINS: dict[int, dict[str, int]] = {
+    8: {"sb1": 7824, "sb5": 11018, "sb10": 12888, "sb12": 17312, "sb18": 7518},
+    6: {"sb1": 42998, "sb5": 56173, "sb10": 87212, "sb12": 75994, "sb18": 33596},
+    4: {"sb1": 149517, "sb5": 178136, "sb10": 215292, "sb12": 170572, "sb18": 85146},
+}
+
+#: Table I -- prior work [5]: (|LoC|, accuracy) per design and layer.
+TABLE1_PRIOR_WORK: dict[int, dict[str, tuple[float, float]]] = {
+    8: {
+        "sb1": (115.1, 0.1553),
+        "sb5": (149.4, 0.3563),
+        "sb10": (185.4, 0.4245),
+        "sb12": (870.4, 0.7313),
+        "sb18": (280.7, 0.6688),
+    },
+    6: {
+        "sb1": (487.8, 0.3340),
+        "sb5": (506.8, 0.3940),
+        "sb10": (687.9, 0.6403),
+        "sb12": (2527.9, 0.7350),
+        "sb18": (773.6, 0.5843),
+    },
+    4: {
+        "sb1": (885.6, 0.5819),
+        "sb5": (745.8, 0.5370),
+        "sb10": (939.4, 0.5468),
+        "sb12": (2078.8, 0.7567),
+        "sb18": (1076.9, 0.7013),
+    },
+}
+
+#: Table I -- average |LoC| at the baseline's accuracy, per configuration.
+TABLE1_AVG_LOC_AT_PRIOR_ACCURACY: dict[int, dict[str, float]] = {
+    8: {"ML-9": 7.1, "Imp-9": 7.3, "Imp-7": 9.1, "Imp-11": 6.2, "[5]": 320.2},
+    6: {"ML-9": 72.1, "Imp-9": 68.1, "Imp-7": 63.9, "Imp-11": 62.2, "[5]": 996.8},
+    4: {"ML-9": 267.9, "Imp-9": 256.7, "Imp-7": 296.3, "Imp-11": 220.9, "[5]": 1145.3},
+}
+
+#: Table I -- average accuracy at the baseline's |LoC|, per configuration.
+TABLE1_AVG_ACCURACY_AT_PRIOR_LOC: dict[int, dict[str, float]] = {
+    8: {"ML-9": 1.0000, "Imp-9": 0.9999, "Imp-7": 0.9999, "Imp-11": 0.9999, "[5]": 0.4272},
+    6: {"ML-9": 0.8084, "Imp-9": 0.8127, "Imp-7": 0.8126, "Imp-11": 0.8303, "[5]": 0.5375},
+    4: {"ML-9": 0.7711, "Imp-9": 0.7794, "Imp-7": 0.7652, "Imp-11": 0.7892, "[5]": 0.6247},
+}
+
+#: Table II -- base classifier comparison (Imp-7): runtime in minutes.
+TABLE2_RUNTIME_MINUTES: dict[int, dict[str, float]] = {
+    8: {"RandomTree[18]": 7.25, "REPTree": 0.48},
+    6: {"RandomTree[18]": 10.73 * 60, "REPTree": 0.42 * 60},
+}
+
+#: Table II -- average (|LoC|, accuracy) per base classifier and layer.
+TABLE2_QUALITY: dict[int, dict[str, tuple[float, float]]] = {
+    8: {"RandomTree[18]": (26.3, 0.9984), "REPTree": (26.6, 0.9981)},
+    6: {"RandomTree[18]": (1059.3, 0.8194), "REPTree": (1126.4, 0.8171)},
+}
+
+#: Table III -- two-level pruning vs no pruning (Imp-11, layer 8):
+#: (|LoC|, accuracy) averages.
+TABLE3_LAYER8: dict[str, tuple[float, float]] = {
+    "two-level": (5.24, 0.5694),
+    "no-pruning": (6.55, 0.4849),
+}
+#: Designs where two-level pruning won at layer 8 (all but superblue12).
+TABLE3_LAYER8_WINNERS: tuple[str, ...] = ("sb1", "sb5", "sb10", "sb18")
+
+#: Table IV -- average accuracy at a 1% / 10% LoC fraction, key configs.
+TABLE4_ACCURACY_AT_FRACTION: dict[int, dict[str, dict[float, float]]] = {
+    8: {
+        "ML-9": {0.01: 1.0000, 0.10: 1.0000},
+        "Imp-9": {0.01: 0.9999, 0.10: 0.9999},
+        "Imp-11": {0.01: 0.9999, 0.10: 0.9999},
+        "Imp-9Y": {0.01: 0.9999, 0.10: 0.9999},
+    },
+    6: {
+        "ML-9": {0.01: 0.7914, 0.10: 0.9557},
+        "Imp-9": {0.01: 0.7980, 0.10: 0.9513},
+        "Imp-11": {0.01: 0.8134, 0.10: 0.9596},
+    },
+    4: {
+        "ML-9": {0.01: 0.8098, 0.10: 0.9740},
+        "Imp-9": {0.01: 0.8109, 0.10: 0.9132},
+        "Imp-11": {0.01: 0.8208, 0.10: 0.9134},
+    },
+}
+
+#: Table IV -- runtime (seconds) per configuration and layer.
+TABLE4_RUNTIME_SECONDS: dict[int, dict[str, float]] = {
+    8: {"ML-9": 33.6, "Imp-9": 30.6, "Imp-7": 28.8, "Imp-11": 27.8, "ML-9Y": 13.9},
+    6: {"ML-9": 45.1 * 60, "Imp-9": 22.9 * 60, "Imp-7": 24.9 * 60, "Imp-11": 19.0 * 60},
+    4: {
+        "ML-9": 5.31 * 3600,
+        "Imp-9": 0.96 * 3600,
+        "Imp-7": 1.06 * 3600,
+        "Imp-11": 0.92 * 3600,
+    },
+}
+
+#: Table IV -- the Imp saturation at layer 4 (dashes at 95% accuracy).
+TABLE4_LAYER4_IMP_SATURATION: float = 0.913
+
+#: Table V -- average validated-PA success per configuration and layer.
+TABLE5_VALIDATED_PA: dict[int, dict[str, float]] = {
+    8: {
+        "ML-9": 0.2052,
+        "Imp-9": 0.2564,
+        "Imp-7": 0.2489,
+        "Imp-11": 0.2088,
+        "ML-9Y": 0.2806,
+        "Imp-9Y": 0.2782,
+        "Imp-7Y": 0.2614,
+        "Imp-11Y": 0.2545,
+    },
+    6: {"ML-9": 0.0475, "Imp-9": 0.0590, "Imp-7": 0.0608, "Imp-11": 0.0589},
+    4: {"ML-9": 0.0388, "Imp-9": 0.0511, "Imp-7": 0.0495, "Imp-11": 0.0493},
+}
+
+#: Table V -- the [18] fixed-threshold PA averages per layer.
+TABLE5_FIXED_THRESHOLD_PA: dict[int, float] = {8: 0.2463, 6: 0.0334, 4: 0.0253}
+
+#: Table V -- prior work [5], superblue1 only.
+TABLE5_PRIOR_SB1: dict[int, float] = {8: 0.0195, 6: 0.0076, 4: 0.0064}
+
+#: Table VI -- average PA success under y-noise (Imp-11).
+TABLE6_PA_UNDER_NOISE: dict[int, dict[float, float]] = {
+    6: {0.0: 0.0589, 0.01: 0.0121, 0.02: 0.0114},
+    4: {0.0: 0.0493, 0.01: 0.0224, 0.02: 0.0226},
+}
+
+#: Fig. 7 -- the dominant feature (by information gain) at layer 8.
+FIGURE7_TOP_FEATURE_LAYER8: str = "DiffVpinY"
+
+#: Fig. 7 -- location features generally dominate all three metrics.
+FIGURE7_LOCATION_FEATURES: tuple[str, ...] = (
+    "DiffVpinX",
+    "DiffVpinY",
+    "ManhattanVpin",
+    "DiffPinX",
+    "DiffPinY",
+    "ManhattanPin",
+)

@@ -1,0 +1,85 @@
+"""Plain-text reporting: ASCII tables, CSV dumps, paper-vs-measured rows.
+
+Every experiment module renders its output through these helpers so the
+benchmark harness and the examples produce uniform, diffable text.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell rendering (percentages, dashes for None)."""
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "--"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float | None, digits: int = 2) -> str:
+    """Render a 0..1 ratio as a percentage string."""
+    if value is None or value != value:
+        return "--"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in rendered:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def csv_dump(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as CSV text (for EXPERIMENTS.md appendices)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def paper_comparison(
+    title: str,
+    rows: Sequence[tuple[str, str, str]],
+) -> str:
+    """A 'metric | paper | measured' block for EXPERIMENTS.md."""
+    return ascii_table(
+        ("metric (shape target)", "paper", "this reproduction"),
+        rows,
+        title=title,
+    )

@@ -1,0 +1,135 @@
+"""Challenge-instance packaging: ship a split view without its answers.
+
+Mirrors how split-manufacturing attack benchmarks are released: the
+*public* file carries everything the untrusted foundry would extract from
+the FEOL GDSII (v-pin locations and features), while the *oracle* file
+holds the ground-truth matching for scoring.  Both are JSON.
+
+The public document deliberately omits net names: they would leak the
+pairing (two v-pins of the same cut net share the net).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..layout.geometry import Point
+from .split import SplitView, VPin
+
+FORMAT_VERSION = 1
+
+
+def challenge_to_dict(view: SplitView) -> dict[str, Any]:
+    """The attacker-visible part of a split view."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "design": view.design_name,
+        "split_layer": view.split_layer,
+        "num_via_layers": view.num_via_layers,
+        "top_metal_direction": view.top_metal_direction,
+        "die": [view.die_width, view.die_height],
+        "vpins": [
+            {
+                "id": v.id,
+                "vx": v.location.x,
+                "vy": v.location.y,
+                "px": v.pin_location.x,
+                "py": v.pin_location.y,
+                "w": v.fragment_wirelength,
+                "in_area": v.in_area,
+                "out_area": v.out_area,
+                "pc": v.pc,
+                "rc": v.rc,
+            }
+            for v in view.vpins
+        ],
+    }
+
+
+def oracle_to_dict(view: SplitView) -> dict[str, Any]:
+    """The scoring key: ground-truth matches per v-pin id."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "design": view.design_name,
+        "split_layer": view.split_layer,
+        "matches": {str(v.id): sorted(v.matches) for v in view.vpins},
+    }
+
+
+def challenge_from_dicts(
+    public: dict[str, Any],
+    oracle: dict[str, Any] | None = None,
+) -> SplitView:
+    """Rebuild a :class:`SplitView` from the public (and oracle) documents.
+
+    Without the oracle, every v-pin has an empty match set -- the
+    attacker's actual situation; accuracy-style metrics are then
+    unavailable but LoC generation works.
+    """
+    if public.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported challenge format version")
+    matches: dict[str, list[int]] = {}
+    if oracle is not None:
+        if oracle.get("format_version") != FORMAT_VERSION:
+            raise ValueError("unsupported oracle format version")
+        if (
+            oracle.get("design") != public.get("design")
+            or oracle.get("split_layer") != public.get("split_layer")
+        ):
+            raise ValueError("oracle does not belong to this challenge")
+        matches = oracle["matches"]
+    vpins = []
+    for entry in public["vpins"]:
+        vpins.append(
+            VPin(
+                id=entry["id"],
+                net="",  # withheld from the attacker
+                location=Point(entry["vx"], entry["vy"]),
+                fragment_wirelength=entry["w"],
+                pins=(),
+                pin_location=Point(entry["px"], entry["py"]),
+                in_area=entry["in_area"],
+                out_area=entry["out_area"],
+                pc=entry["pc"],
+                rc=entry["rc"],
+                matches=frozenset(matches.get(str(entry["id"]), ())),
+            )
+        )
+    return SplitView(
+        design_name=public["design"],
+        split_layer=public["split_layer"],
+        die_width=public["die"][0],
+        die_height=public["die"][1],
+        vpins=vpins,
+        num_via_layers=public["num_via_layers"],
+        top_metal_direction=public["top_metal_direction"],
+    )
+
+
+def save_challenge(
+    view: SplitView,
+    public_path: str | Path,
+    oracle_path: str | Path | None = None,
+) -> None:
+    """Write the public challenge (and optionally the oracle) to disk."""
+    with open(public_path, "w") as handle:
+        json.dump(challenge_to_dict(view), handle)
+    if oracle_path is not None:
+        with open(oracle_path, "w") as handle:
+            json.dump(oracle_to_dict(view), handle)
+
+
+def load_challenge(
+    public_path: str | Path,
+    oracle_path: str | Path | None = None,
+) -> SplitView:
+    """Read a challenge (plus oracle, if provided) from disk."""
+    with open(public_path) as handle:
+        public = json.load(handle)
+    oracle = None
+    if oracle_path is not None:
+        with open(oracle_path) as handle:
+            oracle = json.load(handle)
+    return challenge_from_dicts(public, oracle)

@@ -1,0 +1,319 @@
+"""Sample generation for training and candidate enumeration for testing.
+
+Implements Section III-B (balanced positive/negative samples), the
+scalability neighborhood of Section III-D (``Imp`` configurations), and
+the top-layer coordinate limit of Section III-G ("Y" configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .pair_features import compute_pair_features, legal_pair_mask
+from .split import SplitView
+
+#: Tolerance for "same coordinate" checks (router snaps to track grids, so
+#: true equality is exact; this only absorbs float noise).
+COORD_TOL = 1e-6
+
+#: The paper's default neighborhood percentile (Section III-D).
+DEFAULT_NEIGHBORHOOD_PERCENTILE = 90.0
+
+
+@dataclass
+class TrainingSet:
+    """A balanced, featurized sample matrix ready for the classifier."""
+
+    X: np.ndarray
+    y: np.ndarray
+    features: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if self.X.shape[1] != len(self.features):
+            raise ValueError("X and feature names disagree on feature count")
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_positive(self) -> int:
+        return int(self.y.sum())
+
+
+def positive_pairs(view: SplitView) -> tuple[np.ndarray, np.ndarray]:
+    """Ground-truth matching (and legal) pairs as index arrays ``i < j``."""
+    pairs = view.match_pairs()
+    if not pairs:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    i = np.array([p[0] for p in pairs], dtype=int)
+    j = np.array([p[1] for p in pairs], dtype=int)
+    legal = legal_pair_mask(view, i, j)
+    return i[legal], j[legal]
+
+
+def _is_match(view: SplitView, i: int, j: int) -> bool:
+    return j in view.vpins[i].matches
+
+
+def random_negative_pairs(
+    view: SplitView,
+    count: int,
+    rng: np.random.Generator,
+    max_tries_factor: int = 50,
+    allowed: np.ndarray | None = None,
+    y_aligned_only: bool = False,
+    x_aligned_only: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly random non-matching, legal pairs (ML configurations).
+
+    With an alignment flag (the "Y" configurations), the partner is drawn
+    from the v-pins sharing the first pick's aligned coordinate.
+    """
+    n = len(view)
+    if n < 2 or count <= 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    out_i: list[int] = []
+    out_j: list[int] = []
+    tries = 0
+    limit = count * max_tries_factor
+    arr = view.arrays()
+    out_area = arr["out_area"]
+    pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
+    if len(pool) < 2:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    groups: dict[float, np.ndarray] | None = None
+    if y_aligned_only or x_aligned_only:
+        coords = arr["vy"] if y_aligned_only else arr["vx"]
+        keys = np.round(coords[pool], 6)
+        groups = {key: pool[keys == key] for key in np.unique(keys)}
+    while len(out_i) < count and tries < limit:
+        tries += 1
+        i = int(pool[rng.integers(len(pool))])
+        if groups is not None:
+            coords = arr["vy"] if y_aligned_only else arr["vx"]
+            group = groups[np.round(coords[i], 6)]
+            if len(group) < 2:
+                continue
+            j = int(group[rng.integers(len(group))])
+        else:
+            j = int(pool[rng.integers(len(pool))])
+        if i == j or _is_match(view, i, j):
+            continue
+        if out_area[i] > 0 and out_area[j] > 0:
+            continue
+        out_i.append(i)
+        out_j.append(j)
+    return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
+
+
+class NeighborhoodIndex:
+    """L1-radius neighbor lookup over a view's v-pins."""
+
+    def __init__(self, view: SplitView, radius: float) -> None:
+        self.view = view
+        self.radius = radius
+        arr = view.arrays()
+        self._points = np.column_stack([arr["vx"], arr["vy"]])
+        self._tree = cKDTree(self._points) if len(view) else None
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Indices (excluding ``i``) within L1 ``radius`` of v-pin ``i``."""
+        if self._tree is None:
+            return np.zeros(0, dtype=int)
+        found = self._tree.query_ball_point(self._points[i], r=self.radius, p=1)
+        return np.array([k for k in found if k != i], dtype=int)
+
+    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All legal pairs within the L1 radius, as index arrays i < j."""
+        if self._tree is None:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        pairs = self._tree.query_pairs(r=self.radius, p=1, output_type="ndarray")
+        if pairs.size == 0:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        i, j = pairs[:, 0], pairs[:, 1]
+        legal = legal_pair_mask(self.view, i, j)
+        return i[legal], j[legal]
+
+
+def neighborhood_fraction(
+    views: list[SplitView],
+    percentile: float = DEFAULT_NEIGHBORHOOD_PERCENTILE,
+) -> float:
+    """Neighborhood size from the training designs (Section III-D).
+
+    The ManhattanVpin of every truly matching pair, *normalized by the
+    design's half-perimeter*, is pooled over the training views; the
+    requested percentile of that distribution is the neighborhood size
+    (as a fraction, to be rescaled by the test design's half-perimeter).
+    """
+    normalized: list[np.ndarray] = []
+    for view in views:
+        distances = view.match_distances()
+        half_perimeter = view.die_width + view.die_height
+        if len(distances):
+            normalized.append(distances / half_perimeter)
+    if not normalized:
+        raise ValueError("no matching pairs in any training view")
+    pooled = np.concatenate(normalized)
+    return float(np.percentile(pooled, percentile))
+
+
+def neighborhood_radius(view: SplitView, fraction: float) -> float:
+    """Rescale a normalized neighborhood fraction to this view's units."""
+    return fraction * (view.die_width + view.die_height)
+
+
+def neighborhood_negative_pairs(
+    view: SplitView,
+    count: int,
+    index: NeighborhoodIndex,
+    rng: np.random.Generator,
+    y_aligned_only: bool = False,
+    x_aligned_only: bool = False,
+    max_tries_factor: int = 50,
+    allowed: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-matching legal pairs drawn from inside the neighborhood.
+
+    With ``y_aligned_only`` (the "Y" configurations at the highest via
+    layer) candidates must additionally share the v-pin y-coordinate.
+    """
+    n = len(view)
+    if n < 2 or count <= 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    arr = view.arrays()
+    out_area = arr["out_area"]
+    out_i: list[int] = []
+    out_j: list[int] = []
+    tries = 0
+    limit = count * max_tries_factor
+    neighbor_cache: dict[int, np.ndarray] = {}
+    pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
+    if len(pool) < 2:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    while len(out_i) < count and tries < limit:
+        tries += 1
+        i = int(pool[rng.integers(len(pool))])
+        neighbors = neighbor_cache.get(i)
+        if neighbors is None:
+            neighbors = index.neighbors_of(i)
+            if allowed is not None and len(neighbors):
+                neighbors = neighbors[allowed[neighbors]]
+            if y_aligned_only and len(neighbors):
+                aligned = np.abs(arr["vy"][neighbors] - arr["vy"][i]) <= COORD_TOL
+                neighbors = neighbors[aligned]
+            if x_aligned_only and len(neighbors):
+                aligned = np.abs(arr["vx"][neighbors] - arr["vx"][i]) <= COORD_TOL
+                neighbors = neighbors[aligned]
+            neighbor_cache[i] = neighbors
+        if len(neighbors) == 0:
+            continue
+        j = int(neighbors[rng.integers(len(neighbors))])
+        if _is_match(view, i, j):
+            continue
+        if out_area[i] > 0 and out_area[j] > 0:
+            continue
+        out_i.append(i)
+        out_j.append(j)
+    return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
+
+
+def iter_all_pairs(
+    n: int, chunk_size: int = 500_000
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield all unordered index pairs of ``range(n)`` in bounded chunks."""
+    if n < 2:
+        return
+    buffer_i: list[np.ndarray] = []
+    buffer_j: list[np.ndarray] = []
+    buffered = 0
+    for row in range(n - 1):
+        js = np.arange(row + 1, n)
+        buffer_i.append(np.full(len(js), row, dtype=int))
+        buffer_j.append(js)
+        buffered += len(js)
+        if buffered >= chunk_size:
+            yield np.concatenate(buffer_i), np.concatenate(buffer_j)
+            buffer_i, buffer_j, buffered = [], [], 0
+    if buffered:
+        yield np.concatenate(buffer_i), np.concatenate(buffer_j)
+
+
+def build_training_set(
+    views: list[SplitView],
+    features: tuple[str, ...],
+    rng: np.random.Generator,
+    neighborhood: float | None = None,
+    y_aligned_only: bool = False,
+    x_aligned_only: bool = False,
+    allowed: list[np.ndarray] | None = None,
+) -> TrainingSet:
+    """Assemble the balanced training set from the training views.
+
+    ``neighborhood`` is the normalized neighborhood fraction (``None``
+    for the unrestricted ML configurations).  Alignment flags implement
+    the "Y" training-set limit: positives that violate the limit are
+    dropped and negatives are drawn only from aligned pairs.  ``allowed``
+    optionally gives one boolean mask per view restricting which v-pins
+    may appear in samples (used by the proximity-attack validation,
+    Section III-H).
+    """
+    if allowed is not None and len(allowed) != len(views):
+        raise ValueError("allowed masks must parallel views")
+    blocks_X: list[np.ndarray] = []
+    blocks_y: list[np.ndarray] = []
+    for view_index, view in enumerate(views):
+        pos_i, pos_j = positive_pairs(view)
+        mask = allowed[view_index] if allowed is not None else None
+        if mask is not None and len(pos_i):
+            keep = mask[pos_i] & mask[pos_j]
+            pos_i, pos_j = pos_i[keep], pos_j[keep]
+        if y_aligned_only and len(pos_i):
+            arr = view.arrays()
+            keep = np.abs(arr["vy"][pos_i] - arr["vy"][pos_j]) <= COORD_TOL
+            pos_i, pos_j = pos_i[keep], pos_j[keep]
+        if x_aligned_only and len(pos_i):
+            arr = view.arrays()
+            keep = np.abs(arr["vx"][pos_i] - arr["vx"][pos_j]) <= COORD_TOL
+            pos_i, pos_j = pos_i[keep], pos_j[keep]
+        n_pos = len(pos_i)
+        if n_pos == 0:
+            continue
+        if neighborhood is None:
+            neg_i, neg_j = random_negative_pairs(
+                view,
+                n_pos,
+                rng,
+                allowed=mask,
+                y_aligned_only=y_aligned_only,
+                x_aligned_only=x_aligned_only,
+            )
+        else:
+            index = NeighborhoodIndex(view, neighborhood_radius(view, neighborhood))
+            neg_i, neg_j = neighborhood_negative_pairs(
+                view,
+                n_pos,
+                index,
+                rng,
+                y_aligned_only=y_aligned_only,
+                x_aligned_only=x_aligned_only,
+                allowed=mask,
+            )
+        pos_X = compute_pair_features(view, pos_i, pos_j, features)
+        neg_X = compute_pair_features(view, neg_i, neg_j, features)
+        blocks_X.append(pos_X)
+        blocks_X.append(neg_X)
+        blocks_y.append(np.ones(len(pos_i)))
+        blocks_y.append(np.zeros(len(neg_i)))
+    if not blocks_X:
+        raise ValueError("no training samples could be generated")
+    return TrainingSet(
+        X=np.vstack(blocks_X), y=np.concatenate(blocks_y), features=features
+    )

@@ -1,0 +1,98 @@
+"""Descriptive statistics of split views.
+
+One call, one text block: everything a user wants to know about a
+challenge instance before attacking it -- sizes, polarity balance,
+match-distance percentiles, alignment structure, feature ranges.  Used
+by the CLI ``split`` command and the walkthrough example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .split import SplitView
+
+
+@dataclass(frozen=True)
+class SplitStatistics:
+    """Computed summary of one split view."""
+
+    design_name: str
+    split_layer: int
+    n_vpins: int
+    n_matched_pairs: int
+    n_driver_side: int
+    n_multi_pin_fragments: int
+    mean_fragment_wirelength: float
+    match_distance_p50: float
+    match_distance_p90: float
+    aligned_match_fraction: float
+    distinct_tracks: int
+
+    @property
+    def driver_fraction(self) -> float:
+        if self.n_vpins == 0:
+            return 0.0
+        return self.n_driver_side / self.n_vpins
+
+
+def compute_statistics(view: SplitView) -> SplitStatistics:
+    """Compute :class:`SplitStatistics` for a view."""
+    arr = view.arrays()
+    n = len(view)
+    distances = view.match_distances()
+    half_perimeter = max(view.half_perimeter, 1e-9)
+    aligned = 0
+    total = 0
+    axis = view.aligned_axis
+    key = "vy" if axis != "x" else "vx"
+    for vpin in view.vpins:
+        for m in vpin.matches:
+            total += 1
+            if abs(arr[key][vpin.id] - arr[key][m]) <= 1e-6:
+                aligned += 1
+    return SplitStatistics(
+        design_name=view.design_name,
+        split_layer=view.split_layer,
+        n_vpins=n,
+        n_matched_pairs=view.num_matched_pairs,
+        n_driver_side=int((arr["out_area"] > 0).sum()) if n else 0,
+        n_multi_pin_fragments=sum(1 for v in view.vpins if len(v.pins) > 1),
+        mean_fragment_wirelength=float(arr["w"].mean()) if n else 0.0,
+        match_distance_p50=(
+            float(np.percentile(distances, 50)) / half_perimeter
+            if len(distances)
+            else 0.0
+        ),
+        match_distance_p90=(
+            float(np.percentile(distances, 90)) / half_perimeter
+            if len(distances)
+            else 0.0
+        ),
+        aligned_match_fraction=aligned / total if total else 0.0,
+        distinct_tracks=(
+            len(np.unique(np.round(arr[key], 6))) if n else 0
+        ),
+    )
+
+
+def describe(view: SplitView) -> str:
+    """Human-readable statistics block for one split view."""
+    stats = compute_statistics(view)
+    axis = view.aligned_axis or ("y" if view.top_metal_direction == "H" else "x")
+    return "\n".join(
+        [
+            f"split view: {stats.design_name} @ V{stats.split_layer}",
+            f"  v-pins: {stats.n_vpins} "
+            f"({stats.n_matched_pairs} matched pairs, "
+            f"{stats.driver_fraction:.0%} driver-side)",
+            f"  multi-pin FEOL fragments: {stats.n_multi_pin_fragments}",
+            f"  mean fragment wirelength W: {stats.mean_fragment_wirelength:.1f}",
+            f"  normalized match distance: p50 {stats.match_distance_p50:.3f}, "
+            f"p90 {stats.match_distance_p90:.3f}",
+            f"  {axis}-aligned match fraction: {stats.aligned_match_fraction:.0%} "
+            f"({stats.distinct_tracks} distinct {axis}-tracks)",
+        ]
+    )

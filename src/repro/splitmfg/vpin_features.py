@@ -1,0 +1,90 @@
+"""Per-v-pin congestion features and the split-view factory.
+
+The paper's two congestion measurements (Section III-A, introduced in [5]):
+
+* ``PC`` (placement congestion): the density of cell pins around the
+  placement-layer point ``(px, py)`` that the v-pin connects to;
+* ``RC`` (routing congestion): the density of v-pins around ``(vx, vy)``
+  on the split layer.
+
+Both are neighborhood counts normalized by the neighborhood area, with the
+neighborhood radius expressed as a fraction of the die half-perimeter so
+the feature is comparable across differently sized designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..layout.design import Design
+from .split import SplitView, split_design
+
+DEFAULT_PC_RADIUS_FRACTION = 0.02
+DEFAULT_RC_RADIUS_FRACTION = 0.02
+
+
+def placement_congestion(
+    view: SplitView,
+    design: Design,
+    radius_fraction: float = DEFAULT_PC_RADIUS_FRACTION,
+) -> np.ndarray:
+    """Pin density around each v-pin's placement-layer connection point."""
+    pin_points = np.array(
+        [(p.x, p.y) for _ref, p in design.netlist.all_pin_locations()]
+    )
+    if len(pin_points) == 0:
+        return np.zeros(len(view))
+    radius = radius_fraction * (view.die_width + view.die_height)
+    tree = cKDTree(pin_points)
+    arr = view.arrays()
+    queries = np.column_stack([arr["px"], arr["py"]])
+    counts = tree.query_ball_point(queries, r=radius, p=np.inf, return_length=True)
+    area = (2.0 * radius) ** 2
+    return np.asarray(counts, dtype=float) / area
+
+
+def routing_congestion(
+    view: SplitView,
+    radius_fraction: float = DEFAULT_RC_RADIUS_FRACTION,
+) -> np.ndarray:
+    """V-pin density around each v-pin on the split layer."""
+    arr = view.arrays()
+    points = np.column_stack([arr["vx"], arr["vy"]])
+    if len(points) == 0:
+        return np.zeros(0)
+    radius = radius_fraction * (view.die_width + view.die_height)
+    tree = cKDTree(points)
+    counts = tree.query_ball_point(points, r=radius, p=np.inf, return_length=True)
+    area = (2.0 * radius) ** 2
+    # Exclude the v-pin itself from its own neighborhood.
+    return (np.asarray(counts, dtype=float) - 1.0) / area
+
+
+def attach_congestion(
+    view: SplitView,
+    design: Design,
+    pc_radius_fraction: float = DEFAULT_PC_RADIUS_FRACTION,
+    rc_radius_fraction: float = DEFAULT_RC_RADIUS_FRACTION,
+) -> None:
+    """Fill in ``pc`` and ``rc`` on every v-pin of ``view`` (in place)."""
+    if not view.vpins:
+        return
+    pc = placement_congestion(view, design, pc_radius_fraction)
+    rc = routing_congestion(view, rc_radius_fraction)
+    for vpin, pc_val, rc_val in zip(view.vpins, pc, rc):
+        vpin.pc = float(pc_val)
+        vpin.rc = float(rc_val)
+    view.invalidate_cache()
+
+
+def make_split_view(
+    design: Design,
+    split_layer: int,
+    pc_radius_fraction: float = DEFAULT_PC_RADIUS_FRACTION,
+    rc_radius_fraction: float = DEFAULT_RC_RADIUS_FRACTION,
+) -> SplitView:
+    """Cut the design and return a fully-featured :class:`SplitView`."""
+    view = split_design(design, split_layer)
+    attach_congestion(view, design, pc_radius_fraction, rc_radius_fraction)
+    return view

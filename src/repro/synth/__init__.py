@@ -1,0 +1,37 @@
+"""Synthetic benchmark generation: placement, netlist synthesis, routing."""
+
+from .bookshelf import read_bookshelf, write_bookshelf
+from .variants import BusConfig, add_buses, build_bus_benchmark
+from .benchmarks import (
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    build_benchmark,
+    build_suite,
+    scaled_spec,
+    spec_by_name,
+)
+from .netlist_gen import NetlistConfig, generate_nets
+from .placement import PlacementConfig, generate_placement
+from .router import CongestionGrid, GlobalRouter, RouterConfig, layer_pairs
+
+__all__ = [
+    "BENCHMARK_SPECS",
+    "BenchmarkSpec",
+    "BusConfig",
+    "CongestionGrid",
+    "GlobalRouter",
+    "NetlistConfig",
+    "PlacementConfig",
+    "RouterConfig",
+    "add_buses",
+    "build_benchmark",
+    "build_bus_benchmark",
+    "build_suite",
+    "generate_nets",
+    "generate_placement",
+    "layer_pairs",
+    "read_bookshelf",
+    "scaled_spec",
+    "spec_by_name",
+    "write_bookshelf",
+]

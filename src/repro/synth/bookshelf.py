@@ -1,0 +1,231 @@
+"""Bookshelf-format export/import for placed netlists.
+
+The paper's benchmarks (ISPD-2011 superblue) are distributed in the
+Bookshelf placement format -- ``.nodes`` (cells), ``.nets`` (pins),
+``.pl`` (placement), tied together by an ``.aux`` file.  This module
+writes and reads that subset, so generated designs interoperate with
+standard placement/routing tooling and real Bookshelf netlists can be
+pulled into the pipeline (routes are then produced by
+:class:`repro.synth.router.GlobalRouter`).
+
+Only the placement-relevant subset is implemented: node dimensions,
+terminal (macro) flags, net pin offsets, and locations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..layout.cells import (
+    CellLibrary,
+    CellMaster,
+    PinDirection,
+    PinSpec,
+)
+from ..layout.geometry import Point, Rect
+from ..layout.netlist import CellInstance, Net, Netlist, PinRef
+
+
+def write_bookshelf(netlist: Netlist, die: Rect, directory: str | Path, basename: str) -> None:
+    """Write ``<basename>.{aux,nodes,nets,pl,scl}`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    nodes_path = directory / f"{basename}.nodes"
+    with open(nodes_path, "w") as handle:
+        handle.write("UCLA nodes 1.0\n\n")
+        handle.write(f"NumNodes : {netlist.num_cells}\n")
+        terminals = sum(1 for c in netlist.cells if c.master.is_macro)
+        handle.write(f"NumTerminals : {terminals}\n")
+        for cell in netlist.cells:
+            kind = " terminal" if cell.master.is_macro else ""
+            handle.write(
+                f"  {cell.name} {cell.master.width:.10g} "
+                f"{cell.master.height:.10g}{kind}\n"
+            )
+
+    nets_path = directory / f"{basename}.nets"
+    num_pins = sum(net.degree for net in netlist.nets)
+    with open(nets_path, "w") as handle:
+        handle.write("UCLA nets 1.0\n\n")
+        handle.write(f"NumNets : {netlist.num_nets}\n")
+        handle.write(f"NumPins : {num_pins}\n")
+        for net in netlist.nets:
+            handle.write(f"NetDegree : {net.degree} {net.name}\n")
+            for ref in net.pins:
+                cell = netlist.cells[ref.cell]
+                spec = cell.master.pin(ref.pin)
+                direction = "O" if ref == net.driver else "I"
+                # Bookshelf pin offsets are relative to the cell center.
+                dx = spec.offset_x - cell.master.width / 2
+                dy = spec.offset_y - cell.master.height / 2
+                handle.write(
+                    f"  {cell.name} {direction} : {dx:.10g} {dy:.10g} # {ref.pin}\n"
+                )
+
+    pl_path = directory / f"{basename}.pl"
+    with open(pl_path, "w") as handle:
+        handle.write("UCLA pl 1.0\n\n")
+        for cell in netlist.cells:
+            location = cell.location or Point(0, 0)
+            fixed = " /FIXED" if cell.master.is_macro else ""
+            handle.write(f"{cell.name} {location.x:.10g} {location.y:.10g} : N{fixed}\n")
+
+    scl_path = directory / f"{basename}.scl"
+    with open(scl_path, "w") as handle:
+        handle.write("UCLA scl 1.0\n\n")
+        handle.write(f"# die {die.xlo:.10g} {die.ylo:.10g} {die.xhi:.10g} {die.yhi:.10g}\n")
+
+    with open(directory / f"{basename}.aux", "w") as handle:
+        handle.write(
+            f"RowBasedPlacement : {basename}.nodes {basename}.nets "
+            f"{basename}.pl {basename}.scl\n"
+        )
+
+
+def _strip_comment(line: str) -> str:
+    return line.split("#", 1)[0].strip()
+
+
+def read_bookshelf(
+    directory: str | Path, basename: str, library_name: str = "bookshelf"
+) -> tuple[Netlist, Rect]:
+    """Read the Bookshelf subset written by :func:`write_bookshelf`.
+
+    Cell masters are synthesized from the node dimensions and the pin
+    offsets observed in the ``.nets`` file; pin direction comes from the
+    net's I/O annotation.  Returns ``(netlist, die)`` where the die is
+    read back from the ``.scl`` comment (or the placement bounding box if
+    absent).
+    """
+    directory = Path(directory)
+
+    # Pass 1: nodes -- name, width, height, terminal flag.
+    node_dims: dict[str, tuple[float, float, bool]] = {}
+    with open(directory / f"{basename}.nodes") as handle:
+        for raw in handle:
+            line = _strip_comment(raw)
+            if not line or line.startswith(("UCLA", "NumNodes", "NumTerminals")):
+                continue
+            parts = line.split()
+            name, width, height = parts[0], float(parts[1]), float(parts[2])
+            node_dims[name] = (width, height, "terminal" in parts[3:])
+
+    # Pass 2: nets -- collect per-cell pin usage to synthesize masters.
+    raw_nets: list[tuple[str, list[tuple[str, str, float, float, str]]]] = []
+    with open(directory / f"{basename}.nets") as handle:
+        current: list[tuple[str, str, float, float, str]] | None = None
+        name = ""
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            comment = raw.split("#", 1)[1].strip() if "#" in raw else ""
+            if line.startswith("NetDegree"):
+                if current is not None:
+                    raw_nets.append((name, current))
+                name = line.split()[-1]
+                current = []
+            elif line and ":" in line and current is not None and not line.startswith(
+                ("UCLA", "NumNets", "NumPins")
+            ):
+                head, offsets = line.split(":")
+                cell_name, direction = head.split()
+                dx, dy = (float(v) for v in offsets.split())
+                current.append((cell_name, direction, dx, dy, comment))
+        if current is not None:
+            raw_nets.append((name, current))
+
+    # Synthesize one master per distinct node geometry + pin usage.
+    pin_specs: dict[str, dict[str, PinSpec]] = {n: {} for n in node_dims}
+    for _net, pins in raw_nets:
+        for cell_name, direction, dx, dy, comment in pins:
+            width, height, _term = node_dims[cell_name]
+            pin_name = comment or f"{'O' if direction == 'O' else 'I'}{len(pin_specs[cell_name])}"
+            pin_specs[cell_name].setdefault(
+                pin_name,
+                PinSpec(
+                    name=pin_name,
+                    direction=(
+                        PinDirection.OUTPUT if direction == "O" else PinDirection.INPUT
+                    ),
+                    offset_x=dx + width / 2,
+                    offset_y=dy + height / 2,
+                ),
+            )
+
+    masters: dict[str, CellMaster] = {}
+    cell_master_name: dict[str, str] = {}
+    for cell_name, (width, height, terminal) in node_dims.items():
+        pins = tuple(pin_specs[cell_name].values())
+        if not terminal and not any(
+            p.direction is PinDirection.OUTPUT for p in pins
+        ):
+            # A standard cell whose output happens to be unconnected in
+            # this netlist: synthesize the (unused) output pin so the
+            # master remains a legal standard cell.
+            taken = {p.name for p in pins}
+            out_name = "Y" if "Y" not in taken else "__OUT"
+            pins = pins + (
+                PinSpec(out_name, PinDirection.OUTPUT, width, 0.0),
+            )
+        key = f"{basename}_{cell_name}"
+        masters[key] = CellMaster(
+            name=key,
+            width=width,
+            height=height,
+            pins=pins,
+            is_macro=terminal,
+        )
+        cell_master_name[cell_name] = key
+    library = CellLibrary(name=library_name, masters=tuple(masters.values()))
+
+    netlist = Netlist(name=basename, library=library)
+    index_of: dict[str, int] = {}
+    for cell_name in node_dims:
+        index_of[cell_name] = netlist.add_cell(
+            CellInstance(cell_name, library.master(cell_master_name[cell_name]))
+        )
+
+    # Pass 3: placement.
+    xs: list[float] = []
+    ys: list[float] = []
+    with open(directory / f"{basename}.pl") as handle:
+        for raw in handle:
+            line = _strip_comment(raw)
+            if not line or line.startswith("UCLA"):
+                continue
+            head = line.split(":")[0].split()
+            cell_name, x, y = head[0], float(head[1]), float(head[2])
+            cell = netlist.cells[index_of[cell_name]]
+            cell.location = Point(x, y)
+            xs.extend([x, x + cell.master.width])
+            ys.extend([y, y + cell.master.height])
+
+    for net_name, pins in raw_nets:
+        driver = None
+        sinks = []
+        for cell_name, direction, _dx, _dy, comment in pins:
+            cell = netlist.cells[index_of[cell_name]]
+            pin_name = comment or next(
+                p.name
+                for p in cell.master.pins
+                if (p.direction is PinDirection.OUTPUT) == (direction == "O")
+            )
+            ref = PinRef(index_of[cell_name], pin_name)
+            if direction == "O" and driver is None:
+                driver = ref
+            else:
+                sinks.append(ref)
+        if driver is not None and sinks:
+            netlist.add_net(Net(net_name, driver, tuple(sinks)))
+
+    die = None
+    scl = directory / f"{basename}.scl"
+    if scl.exists():
+        with open(scl) as handle:
+            for raw in handle:
+                if raw.startswith("# die"):
+                    values = [float(v) for v in raw.split()[2:6]]
+                    die = Rect(*values)
+    if die is None:
+        die = Rect(min(xs), min(ys), max(xs), max(ys))
+    return netlist, die

@@ -1,0 +1,414 @@
+"""Direction-aware global router with explicit via stacks.
+
+The router turns each net into a set of two-pin *arcs* (Prim-style
+chaining over the net's pins) and routes every arc on a pair of adjacent
+metal layers chosen by arc length -- short arcs on the fine lower layers,
+die-crossing arcs on the coarse top layers, mirroring how commercial
+routers exploit a 4x wire-size stack.
+
+An arc's route is geometrically explicit:
+
+* an *ascent stack* climbs from the M1 pin to the arc's lower routing
+  layer, jogging on every intermediate layer (in that layer's legal
+  direction) by a congestion-scaled random amount;
+* a Z-connection runs on the (lower, upper) layer pair, with the transfer
+  coordinate optionally detoured by congestion;
+* a *descent stack* mirrors the ascent at the far pin.
+
+Because jogs grow with local congestion, matching v-pins drift apart in
+congested regions -- the behaviour the paper identifies as what makes the
+attack hard (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..layout.design import Route, RouteSegment, Via
+from ..layout.geometry import Point, Rect, snap
+from ..layout.netlist import Net, Netlist
+from ..layout.technology import Direction, Technology
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs for the global router."""
+
+    # Arc-length thresholds for layer-pair assignment, as fractions of the
+    # die half-perimeter.  Entry i is the upper length bound for pair i
+    # (the last pair takes everything longer).  Must have one entry fewer
+    # than the number of layer pairs.
+    pair_thresholds: tuple[float, ...] = (
+        0.008,
+        0.020,
+        0.040,
+        0.070,
+        0.110,
+        0.160,
+        0.240,
+    )
+    # Probability of promoting an arc one pair higher than its length bin
+    # (routers spill upward under congestion).
+    promotion_probability: float = 0.15
+    # Jog magnitude, in units of the jogging layer's pitch.
+    jog_mean_pitches: float = 4.0
+    # Sensitivity of jog/detour size to local congestion (0 disables).
+    congestion_sensitivity: float = 1.0
+    # Detour magnitude of the Z transfer coordinate, in upper-layer pitches.
+    detour_mean_pitches: float = 2.0
+    # Probability that a long upper-layer run takes a short *excursion*
+    # two layers up (e.g. an M5 wire hopping onto M7 for a stretch to
+    # escape congestion).  Excursions are what populate middle via layers
+    # with close-together matching v-pins, exactly like commercial
+    # routing does; without them every cut net would span its full arc.
+    excursion_probability: float = 0.5
+    # Excursion span, as a fraction range of the upper run's length.
+    excursion_span: tuple[float, float] = (0.15, 0.6)
+    # Track shift when rejoining the original layer after an excursion,
+    # in upper-layer pitches.
+    excursion_shift_pitches: float = 2.0
+    congestion_grid: int = 24
+    # The Z transfer coordinate snaps to this many upper-layer pitches
+    # (global-routing track quantization).  Matching v-pins of a top-pair
+    # arc therefore share an *exact* coordinate, and unrelated v-pins land
+    # on the same track with realistic probability.
+    track_quantization: float = 4.0
+    seed: int = 0
+
+
+class CongestionGrid:
+    """Coarse routing-usage map used to scale jogs and detours."""
+
+    def __init__(self, die: Rect, resolution: int) -> None:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.die = die
+        self.resolution = resolution
+        self.usage = np.zeros((resolution, resolution))
+        self._cell_w = die.width / resolution
+        self._cell_h = die.height / resolution
+
+    def _bin(self, p: Point) -> tuple[int, int]:
+        i = int(min(max((p.x - self.die.xlo) / self._cell_w, 0), self.resolution - 1))
+        j = int(min(max((p.y - self.die.ylo) / self._cell_h, 0), self.resolution - 1))
+        return i, j
+
+    def add_segment(self, a: Point, b: Point) -> None:
+        """Record wirelength along the segment (endpoint binning)."""
+        length = a.manhattan(b)
+        for p in (a, b):
+            i, j = self._bin(p)
+            self.usage[i, j] += length / 2.0
+
+    def level_at(self, p: Point) -> float:
+        """Normalized congestion in [0, ~few] around ``p``."""
+        mean = self.usage.mean()
+        if mean <= 0:
+            return 0.0
+        i, j = self._bin(p)
+        return float(self.usage[i, j] / mean)
+
+
+def layer_pairs(technology: Technology) -> list[tuple[int, int]]:
+    """Adjacent (lower, upper) metal-layer routing pairs, bottom to top."""
+    return [(i, i + 1) for i in range(1, technology.num_metal_layers)]
+
+
+class GlobalRouter:
+    """Routes a placed netlist onto the metal stack."""
+
+    def __init__(
+        self, technology: Technology, die: Rect, config: RouterConfig
+    ) -> None:
+        self.technology = technology
+        self.die = die
+        self.config = config
+        self.pairs = layer_pairs(technology)
+        thresholds = config.pair_thresholds
+        if len(thresholds) >= len(self.pairs):
+            # Re-space thresholds for short stacks (used by small tests):
+            # keep the top len(pairs) - 1 entries (none for a single pair).
+            keep = len(self.pairs) - 1
+            thresholds = thresholds[len(thresholds) - keep :] if keep else ()
+        self._bounds = np.array(thresholds) * die.half_perimeter
+        self.rng = np.random.default_rng(config.seed)
+        self.congestion = CongestionGrid(die, config.congestion_grid)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def route_netlist(self, netlist: Netlist) -> dict[str, Route]:
+        """Route every net; returns a route per net name."""
+        routes: dict[str, Route] = {}
+        order = self.rng.permutation(netlist.num_nets)
+        nets = netlist.nets
+        for idx in order:
+            net = nets[int(idx)]
+            routes[net.name] = self.route_net(netlist, net)
+        return routes
+
+    def route_net(self, netlist: Netlist, net: Net) -> Route:
+        """Route one net as Prim-chained two-pin arcs."""
+        points = [netlist.pin_location(ref) for ref in net.pins]
+        segments: list[RouteSegment] = []
+        vias: list[Via] = []
+        for a, b in self._prim_arcs(points):
+            arc_segments, arc_vias = self.route_arc(a, b)
+            segments.extend(arc_segments)
+            vias.extend(arc_vias)
+        return Route(net=net.name, segments=tuple(segments), vias=tuple(vias))
+
+    def route_arc(
+        self, p: Point, q: Point
+    ) -> tuple[list[RouteSegment], list[Via]]:
+        """Route a two-pin arc between M1 points ``p`` and ``q``."""
+        lower, upper = self._assign_pair(p.manhattan(q))
+        segments: list[RouteSegment] = []
+        vias: list[Via] = []
+        s1 = self._stack(p, lower, segments, vias)
+        s2 = self._stack(q, lower, segments, vias)
+        self._z_connect(s1, s2, lower, upper, segments, vias)
+        for seg in segments:
+            self.congestion.add_segment(seg.a, seg.b)
+        return segments, vias
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _prim_arcs(
+        self, points: list[Point]
+    ) -> list[tuple[Point, Point]]:
+        """Chain pins into arcs, nearest-connected-pin first."""
+        if len(points) < 2:
+            return []
+        connected = [points[0]]
+        remaining = points[1:]
+        arcs: list[tuple[Point, Point]] = []
+        while remaining:
+            best = None
+            for r_idx, r in enumerate(remaining):
+                for c in connected:
+                    d = c.manhattan(r)
+                    if best is None or d < best[0]:
+                        best = (d, c, r_idx)
+            assert best is not None
+            _, source, r_idx = best
+            sink = remaining.pop(r_idx)
+            arcs.append((source, sink))
+            connected.append(sink)
+        return arcs
+
+    def _assign_pair(self, length: float) -> tuple[int, int]:
+        """Pick the (lower, upper) routing pair for an arc of ``length``."""
+        bin_index = int(np.searchsorted(self._bounds, length))
+        if (
+            bin_index < len(self.pairs) - 1
+            and self.rng.random() < self.config.promotion_probability
+        ):
+            bin_index += 1
+        return self.pairs[bin_index]
+
+    def _jog_length(self, layer: int, at: Point) -> float:
+        """Signed jog length on ``layer`` around ``at`` (congestion-scaled)."""
+        pitch = self.technology.metal(layer).pitch
+        level = self.congestion.level_at(at)
+        scale = self.config.jog_mean_pitches * pitch
+        scale *= 1.0 + self.config.congestion_sensitivity * level
+        magnitude = self.rng.exponential(scale)
+        sign = 1.0 if self.rng.random() < 0.5 else -1.0
+        return sign * magnitude
+
+    def _clamp_coord(self, value: float, lo: float, hi: float) -> float:
+        return min(max(value, lo), hi)
+
+    def _stack(
+        self,
+        pin: Point,
+        top: int,
+        segments: list[RouteSegment],
+        vias: list[Via],
+    ) -> Point:
+        """Build the via stack from an M1 ``pin`` up to metal ``top``.
+
+        Each intermediate layer contributes a direction-legal jog whose
+        end carries the via to the next layer; returns the stack's landing
+        point on metal ``top``.
+        """
+        current = pin
+        for layer in range(1, top):
+            jog = self._jog_length(layer, current)
+            if abs(jog) > 1e-12:
+                pitch = self.technology.metal(layer).pitch
+                if self.technology.direction(layer) is Direction.HORIZONTAL:
+                    x = self._clamp_coord(
+                        snap(current.x + jog, pitch), self.die.xlo, self.die.xhi
+                    )
+                    nxt = Point(x, current.y)
+                else:
+                    y = self._clamp_coord(
+                        snap(current.y + jog, pitch), self.die.ylo, self.die.yhi
+                    )
+                    nxt = Point(current.x, y)
+                if nxt != current:
+                    segments.append(RouteSegment(layer, current, nxt))
+                current = nxt
+            vias.append(Via(layer, current))
+        return current
+
+    def _z_connect(
+        self,
+        s1: Point,
+        s2: Point,
+        lower: int,
+        upper: int,
+        segments: list[RouteSegment],
+        vias: list[Via],
+    ) -> None:
+        """Connect two points on metal ``lower`` through metal ``upper``.
+
+        The upper-layer wire runs in its preferred direction at a transfer
+        coordinate near ``s2`` (plus a congestion-scaled detour), which is
+        what makes matching v-pins of top-pair arcs share one coordinate.
+        """
+        upper_dir = self.technology.direction(upper)
+        pitch = self.technology.metal(upper).pitch
+        track = pitch * self.config.track_quantization
+        level = self.congestion.level_at(s2)
+        detour_scale = self.config.detour_mean_pitches * pitch
+        detour_scale *= 1.0 + self.config.congestion_sensitivity * level
+        detour = self.rng.exponential(detour_scale) * (
+            1.0 if self.rng.random() < 0.5 else -1.0
+        )
+        if upper_dir is Direction.HORIZONTAL:
+            # lower runs vertically; upper wire on the track at y = transfer.
+            transfer = self._clamp_coord(
+                snap(s2.y + detour, track), self.die.ylo, self.die.yhi
+            )
+            up_start = Point(s1.x, transfer)
+            if up_start != s1:
+                segments.append(RouteSegment(lower, s1, up_start))
+            vias.append(Via(lower, up_start))
+            up_end = self._run_upper(upper, up_start, s2.x, segments, vias)
+            vias.append(Via(lower, up_end))
+            if up_end != s2:
+                segments.append(RouteSegment(lower, up_end, s2))
+        else:
+            transfer = self._clamp_coord(
+                snap(s2.x + detour, track), self.die.xlo, self.die.xhi
+            )
+            up_start = Point(transfer, s1.y)
+            if up_start != s1:
+                segments.append(RouteSegment(lower, s1, up_start))
+            vias.append(Via(lower, up_start))
+            up_end = self._run_upper(upper, up_start, s2.y, segments, vias)
+            vias.append(Via(lower, up_end))
+            if up_end != s2:
+                segments.append(RouteSegment(lower, up_end, s2))
+
+    def _run_upper(
+        self,
+        upper: int,
+        start: Point,
+        target: float,
+        segments: list[RouteSegment],
+        vias: list[Via],
+    ) -> Point:
+        """Route along ``upper`` from ``start`` to the ``target`` coordinate.
+
+        With some probability a middle stretch takes an *excursion* two
+        layers up (same routing direction), descending back afterwards on
+        a nearby track.  Returns the final point reached (its coordinate
+        along the run is ``target``; the cross coordinate may have
+        shifted by the excursion rejoin).
+        """
+        horizontal = self.technology.direction(upper) is Direction.HORIZONTAL
+        along0 = start.x if horizontal else start.y
+        cross0 = start.y if horizontal else start.x
+
+        def point(along: float, cross: float) -> Point:
+            return Point(along, cross) if horizontal else Point(cross, along)
+
+        excursion = self._plan_excursion(upper, along0, target, cross0)
+        if excursion is None:
+            end = point(target, cross0)
+            if end != start:
+                segments.append(RouteSegment(upper, start, end))
+            return end
+        e1, e2, exc_cross, rejoin_cross = excursion
+        exc_layer = upper + 2
+        jog_layer = upper + 1
+        p_e1 = point(e1, cross0)
+        if p_e1 != start:
+            segments.append(RouteSegment(upper, start, p_e1))
+        vias.append(Via(upper, p_e1))
+        p_up1 = point(e1, exc_cross)
+        if p_up1 != p_e1:
+            segments.append(RouteSegment(jog_layer, p_e1, p_up1))
+        vias.append(Via(jog_layer, p_up1))
+        p_up2 = point(e2, exc_cross)
+        if p_up2 != p_up1:
+            segments.append(RouteSegment(exc_layer, p_up1, p_up2))
+        vias.append(Via(jog_layer, p_up2))
+        p_e2 = point(e2, rejoin_cross)
+        if p_e2 != p_up2:
+            segments.append(RouteSegment(jog_layer, p_up2, p_e2))
+        vias.append(Via(upper, p_e2))
+        end = point(target, rejoin_cross)
+        if end != p_e2:
+            segments.append(RouteSegment(upper, p_e2, end))
+        return end
+
+    def _plan_excursion(
+        self,
+        upper: int,
+        along0: float,
+        target: float,
+        cross0: float,
+    ) -> tuple[float, float, float, float] | None:
+        """Pick the excursion interval and cross coordinates, or None."""
+        exc_layer = upper + 2
+        if exc_layer > self.technology.num_metal_layers:
+            return None
+        if self.rng.random() >= self.config.excursion_probability:
+            return None
+        length = abs(target - along0)
+        jog_pitch = self.technology.metal(upper + 1).pitch
+        if length < 8.0 * jog_pitch:
+            return None
+        lo_frac, hi_frac = self.config.excursion_span
+        span = length * self.rng.uniform(lo_frac, hi_frac)
+        offset = self.rng.uniform(0.0, length - span)
+        sign = 1.0 if target >= along0 else -1.0
+        lo, hi = min(along0, target), max(along0, target)
+        e1 = self._clamp_coord(snap(along0 + sign * offset, jog_pitch), lo, hi)
+        e2 = self._clamp_coord(snap(e1 + sign * span, jog_pitch), lo, hi)
+        if e1 == e2:
+            return None
+        # Cross coordinate of the excursion wire, on the excursion layer's
+        # (coarse) track grid.
+        exc_track = (
+            self.technology.metal(exc_layer).pitch * self.config.track_quantization
+        )
+        jog = self.rng.exponential(2.0 * jog_pitch) * (
+            1.0 if self.rng.random() < 0.5 else -1.0
+        )
+        exc_cross = self._clamp_cross(upper, snap(cross0 + jog, exc_track))
+        # Rejoin on a nearby track of the original layer.
+        shift = self.rng.exponential(
+            self.config.excursion_shift_pitches * self.technology.metal(upper).pitch
+        ) * (1.0 if self.rng.random() < 0.5 else -1.0)
+        upper_track = (
+            self.technology.metal(upper).pitch * self.config.track_quantization
+        )
+        rejoin_cross = self._clamp_cross(upper, snap(cross0 + shift, upper_track))
+        return e1, e2, exc_cross, rejoin_cross
+
+    def _clamp_cross(self, upper: int, value: float) -> float:
+        """Clamp a cross coordinate of layer ``upper`` to the die."""
+        if self.technology.direction(upper) is Direction.HORIZONTAL:
+            return self._clamp_coord(value, self.die.ylo, self.die.yhi)
+        return self._clamp_coord(value, self.die.xlo, self.die.xhi)

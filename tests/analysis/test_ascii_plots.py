@@ -1,0 +1,57 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.ascii_plots import curve_block, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        levels = " .:-=+*#%@"
+        out = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        indices = [levels.index(c) for c in out]
+        assert indices == sorted(indices)
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "@@@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        # With bounds 0..1 a mid value maps mid-scale.
+        out = sparkline([0.5], 0.0, 1.0)
+        assert out not in (" ", "@")
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart({"a": [0, 1, 2]}, ["x", "y", "z"], height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 3  # rows + axis + labels + legend
+
+    def test_markers_present(self):
+        chart = line_chart({"a": [0, 1], "b": [1, 0]}, ["1", "2"], height=4)
+        assert "o" in chart and "x" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_empty(self):
+        assert line_chart({}, []) == ""
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"flat": [1.0, 1.0]}, ["a", "b"], height=3)
+        assert "o" in chart
+
+
+class TestCurveBlock:
+    def test_contains_everything(self):
+        block = curve_block(
+            "T", [0.01, 0.1], {"Imp-11": [0.5, 0.9], "[5]": [0.1, 0.2]}
+        )
+        assert "T" in block
+        assert "sparklines" in block
+        assert "Imp-11" in block and "[5]" in block

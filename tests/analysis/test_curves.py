@@ -1,0 +1,64 @@
+"""Tests for trade-off curve aggregation (Figs. 9/10, Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import (
+    accuracy_at_fraction,
+    fraction_for_mean_accuracy,
+    mean_accuracy_at_fractions,
+    mean_curve,
+)
+from repro.attack.config import IMP_9
+from repro.attack.framework import run_loo
+
+
+@pytest.fixture(scope="module")
+def results(views8):
+    return run_loo(IMP_9, views8, seed=0)
+
+
+class TestMeanCurve:
+    def test_monotone_nondecreasing(self, results):
+        fractions, accuracies = mean_curve(results)
+        assert (np.diff(accuracies) >= -1e-12).all()
+        assert (accuracies >= 0).all() and (accuracies <= 1).all()
+
+    def test_is_mean_of_individuals(self, results):
+        grid = np.array([0.001, 0.01, 0.1])
+        _, mean_acc = mean_curve(results, grid)
+        manual = np.mean(
+            [[r.accuracy_at_loc_fraction(f) for f in grid] for r in results],
+            axis=0,
+        )
+        assert np.allclose(mean_acc, manual)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_curve([])
+
+
+class TestInverseLookups:
+    def test_fraction_for_reachable_accuracy(self, results):
+        fractions, accuracies = mean_curve(results)
+        target = accuracies[-1] * 0.5
+        found = fraction_for_mean_accuracy(fractions, accuracies, target)
+        assert found is not None
+        assert accuracy_at_fraction(fractions, accuracies, found) >= target - 0.05
+
+    def test_unreachable_accuracy_returns_none(self, results):
+        fractions, accuracies = mean_curve(results)
+        assert fraction_for_mean_accuracy(fractions, accuracies, 1.01) is None
+
+    def test_accuracy_at_fraction_interpolates(self):
+        fractions = np.array([0.001, 0.01, 0.1])
+        accuracies = np.array([0.2, 0.5, 0.8])
+        mid = accuracy_at_fraction(fractions, accuracies, np.sqrt(0.001 * 0.01))
+        assert mid == pytest.approx(0.35, abs=1e-6)
+        assert accuracy_at_fraction(fractions, accuracies, 1e-6) == 0.2
+        assert accuracy_at_fraction(fractions, accuracies, 0.5) == 0.8
+
+    def test_mean_accuracy_at_fractions(self, results):
+        out = mean_accuracy_at_fractions(results, (0.01, 0.1))
+        assert set(out) == {0.01, 0.1}
+        assert out[0.1] >= out[0.01]

@@ -1,0 +1,68 @@
+"""Tests for CDF and feature-distribution analyses (Figs. 4 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    feature_distributions,
+    loo_cdf_per_design,
+    match_distance_cdf,
+)
+from repro.splitmfg.pair_features import FEATURES_11
+
+
+class TestMatchDistanceCdf:
+    def test_cdf_properties(self, views8):
+        grid, cdf = match_distance_cdf(views8)
+        assert len(grid) == len(cdf)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] >= 0 and cdf[-1] == pytest.approx(1.0)
+
+    def test_custom_grid(self, views8):
+        grid = np.array([0.0, 0.1, 1.0])
+        _, cdf = match_distance_cdf(views8, grid)
+        assert len(cdf) == 3
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_loo_excludes_own_design(self, views8):
+        cdfs = loo_cdf_per_design(views8)
+        assert set(cdfs) == {v.design_name for v in views8}
+        # The LOO CDF for design 0 must equal the pooled CDF of the rest.
+        grid, expected = match_distance_cdf(views8[1:])
+        got_grid, got = cdfs[views8[0].design_name]
+        interp = np.interp(grid, got_grid, got)
+        assert np.allclose(interp, expected, atol=0.05)
+
+
+class TestFeatureDistributions:
+    def test_all_features_summarized(self, views8):
+        distributions = feature_distributions(views8, seed=0)
+        assert set(distributions) == set(FEATURES_11)
+        for dist in distributions.values():
+            assert len(dist.positive_quantiles) == 5
+            assert list(dist.positive_quantiles) == sorted(dist.positive_quantiles)
+
+    def test_manhattan_vpin_separates_best_among_locations(self, views8):
+        """Fig. 8 observation: ManhattanVpin separates classes far better
+        than PlacementCongestion."""
+        distributions = feature_distributions(views8, seed=0)
+        assert (
+            distributions["ManhattanVpin"].separation
+            > distributions["PlacementCongestion"].separation
+        )
+
+    def test_matching_pairs_are_closer(self, views8):
+        distributions = feature_distributions(views8, seed=0)
+        dist = distributions["ManhattanVpin"]
+        assert dist.positive_quantiles[2] < dist.negative_quantiles[2]
+
+    def test_area_features_have_outliers(self, views8):
+        """Macros create heavy outliers in the area features (Fig. 8)."""
+        distributions = feature_distributions(views8, seed=0)
+        assert (
+            max(
+                distributions["TotalArea"].positive_outlier_rate,
+                distributions["TotalArea"].negative_outlier_rate,
+            )
+            >= 0.0
+        )

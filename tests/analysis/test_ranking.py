@@ -1,0 +1,60 @@
+"""Tests for the feature-ranking analysis (Fig. 7)."""
+
+import pytest
+
+from repro.analysis.ranking import (
+    design_feature_ranking,
+    rank_order,
+    suite_feature_ranking,
+    top_features,
+)
+from repro.splitmfg.pair_features import FEATURES_11
+
+
+class TestDesignRanking:
+    def test_all_features_and_metrics_present(self, view8):
+        metrics = design_feature_ranking(view8, seed=0)
+        assert set(metrics) == set(FEATURES_11)
+        for values in metrics.values():
+            assert set(values) == {"info_gain", "correlation", "fisher"}
+            assert all(v >= 0 for v in values.values())
+
+    def test_location_features_dominate(self, view8):
+        """The paper's central Fig. 7 observation: v-pin location features
+        carry the most information."""
+        metrics = design_feature_ranking(view8, seed=0)
+        order = rank_order(metrics, "info_gain")
+        location_features = {
+            "DiffVpinX",
+            "DiffVpinY",
+            "ManhattanVpin",
+            "DiffPinX",
+            "DiffPinY",
+            "ManhattanPin",
+        }
+        assert set(order[:2]) & location_features
+
+    def test_diff_vpin_y_strong_at_top_layer(self, view8):
+        """At the highest via split, DiffVpinY is uniquely informative."""
+        metrics = design_feature_ranking(view8, seed=0)
+        rank = rank_order(metrics, "info_gain").index("DiffVpinY")
+        assert rank < 4
+
+
+class TestSuiteRanking:
+    def test_per_design_keys(self, views8):
+        by_design = suite_feature_ranking(views8, seed=0)
+        assert set(by_design) == {v.design_name for v in views8}
+
+    def test_top_features(self, views8):
+        by_design = suite_feature_ranking(views8, seed=0)
+        tops = top_features(by_design, "fisher", k=2)
+        for names in tops.values():
+            assert len(names) == 2
+            assert set(names) <= set(FEATURES_11)
+
+    def test_rank_order_sorted(self, view8):
+        metrics = design_feature_ranking(view8, seed=0)
+        order = rank_order(metrics, "correlation")
+        values = [metrics[name]["correlation"] for name in order]
+        assert values == sorted(values, reverse=True)

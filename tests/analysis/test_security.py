@@ -1,0 +1,101 @@
+"""Tests for the information-theoretic security metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.security import (
+    baseline_entropy_bits,
+    residual_entropy_bits,
+    security_bits,
+)
+from repro.attack.config import IMP_9
+from repro.attack.framework import evaluate_attack, train_attack
+from repro.attack.result import AttackResult
+from repro.layout.geometry import Point
+from repro.splitmfg.split import SplitView, VPin
+
+
+def _uniform_view(n):
+    """n sink-side v-pins, pairwise matched (0,1),(2,3),..."""
+    vpins = [
+        VPin(
+            id=v,
+            net=f"n{v // 2}",
+            location=Point(float(v), 0.0),
+            fragment_wirelength=0.0,
+            pins=(),
+            pin_location=Point(float(v), 0.0),
+            in_area=1.0,
+            out_area=0.0,
+            matches=frozenset({v ^ 1}),
+        )
+        for v in range(n)
+    ]
+    return SplitView(
+        design_name="t", split_layer=8, die_width=10, die_height=10, vpins=vpins
+    )
+
+
+class TestBaseline:
+    def test_all_sinks(self):
+        view = _uniform_view(9)  # odd to catch off-by-one
+        # Every v-pin has n-1 = 8 candidates -> 3 bits.
+        assert baseline_entropy_bits(view) == pytest.approx(np.log2(8))
+
+    def test_driver_legality_reduces_entropy(self):
+        view = _uniform_view(8)
+        for v in view.vpins[:4]:
+            v.out_area = 16.0
+        view.invalidate_cache()
+        # Drivers: 8-1-3 = 4 candidates (2 bits); sinks: 7 (log2 7).
+        expected = (4 * 2.0 + 4 * np.log2(7)) / 8
+        assert baseline_entropy_bits(view) == pytest.approx(expected)
+
+    def test_tiny_view(self):
+        assert baseline_entropy_bits(_uniform_view(0)) == 0.0
+
+
+class TestResidual:
+    def test_perfect_attack_leaves_zero_bits(self):
+        view = _uniform_view(4)
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 2]),
+            pair_j=np.array([1, 3]),
+            prob=np.array([0.9, 0.9]),
+        )
+        assert residual_entropy_bits(result, 0.5) == pytest.approx(0.0)
+
+    def test_missed_match_costs_baseline(self):
+        view = _uniform_view(4)
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0]),
+            pair_j=np.array([1]),
+            prob=np.array([0.9]),
+        )
+        residual = residual_entropy_bits(result, 0.5)
+        baseline = baseline_entropy_bits(view)
+        # v0, v1 fully resolved; v2, v3 pay full baseline.
+        assert residual == pytest.approx(baseline / 2)
+
+    def test_security_bits_summary(self):
+        view = _uniform_view(4)
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 2]),
+            pair_j=np.array([1, 3]),
+            prob=np.array([0.9, 0.9]),
+        )
+        summary = security_bits(result)
+        assert summary["gain_bits"] == pytest.approx(summary["baseline_bits"])
+        assert summary["residual_bits"] == pytest.approx(0.0)
+
+
+class TestOnBenchmark:
+    def test_attack_reduces_entropy(self, views8):
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        result = evaluate_attack(trained, views8[0])
+        summary = security_bits(result)
+        assert 0 < summary["residual_bits"] < summary["baseline_bits"]
+        assert summary["gain_bits"] > 1.0  # the attack is worth > 1 bit

@@ -1,0 +1,58 @@
+"""Tests for attack configurations."""
+
+import pytest
+
+from repro.attack.config import (
+    ALL_CONFIGS,
+    CONFIGS_BY_NAME,
+    IMP_7,
+    IMP_9,
+    IMP_11,
+    ML_9,
+    AttackConfig,
+)
+
+
+class TestStandardConfigs:
+    def test_eight_configs(self):
+        assert len(ALL_CONFIGS) == 8
+        assert set(CONFIGS_BY_NAME) == {
+            "ML-9",
+            "Imp-9",
+            "Imp-7",
+            "Imp-11",
+            "ML-9Y",
+            "Imp-9Y",
+            "Imp-7Y",
+            "Imp-11Y",
+        }
+
+    def test_feature_counts(self):
+        assert len(ML_9.features) == 9
+        assert len(IMP_7.features) == 7
+        assert len(IMP_11.features) == 11
+
+    def test_scalability_flags(self):
+        assert not ML_9.scalable
+        assert IMP_9.scalable and IMP_7.scalable and IMP_11.scalable
+
+    def test_limit_variants(self):
+        y = IMP_9.with_limit()
+        assert y.name == "Imp-9Y"
+        assert y.limit_top_axis
+        assert y.with_limit() is y  # idempotent
+
+    def test_defaults_match_paper(self):
+        assert ML_9.n_estimators == 10
+        assert ML_9.base_classifier == "reptree"
+        assert ML_9.neighborhood_percentile == 90.0
+
+
+class TestValidation:
+    def test_bad_feature_count(self):
+        with pytest.raises(ValueError):
+            AttackConfig(name="bad", n_features=8)
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            AttackConfig(name="bad", base_classifier="svm")

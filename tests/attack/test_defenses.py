@@ -1,0 +1,128 @@
+"""Tests for the extended defense family."""
+
+import numpy as np
+import pytest
+
+from repro.attack.defenses import (
+    apply_defense_suite,
+    with_dummy_vpins,
+    with_feature_scrambling,
+    with_xy_noise,
+)
+
+
+class TestXYNoise:
+    def test_both_axes_move(self, view8):
+        noisy = with_xy_noise(view8, 0.02, np.random.default_rng(0))
+        dx = noisy.arrays()["vx"] - view8.arrays()["vx"]
+        dy = noisy.arrays()["vy"] - view8.arrays()["vy"]
+        assert np.abs(dx).max() > 0 and np.abs(dy).max() > 0
+
+    def test_zero_is_identity(self, view8):
+        assert with_xy_noise(view8, 0.0, np.random.default_rng(0)) is view8
+
+    def test_matches_preserved(self, view8):
+        noisy = with_xy_noise(view8, 0.02, np.random.default_rng(1))
+        for old, new in zip(view8.vpins, noisy.vpins):
+            assert new.matches == old.matches
+
+    def test_negative_rejected(self, view8):
+        with pytest.raises(ValueError):
+            with_xy_noise(view8, -1, np.random.default_rng(0))
+
+
+class TestDummyVpins:
+    def test_count_and_ids(self, view8):
+        noisy = with_dummy_vpins(view8, 0.5, np.random.default_rng(2))
+        expected = len(view8) + int(round(0.5 * len(view8)))
+        assert len(noisy) == expected
+        for k, vpin in enumerate(noisy.vpins):
+            assert vpin.id == k
+
+    def test_dummies_have_no_matches(self, view8):
+        noisy = with_dummy_vpins(view8, 0.3, np.random.default_rng(3))
+        dummies = noisy.vpins[len(view8) :]
+        assert all(not d.matches for d in dummies)
+        assert all(d.net.startswith("__dummy") for d in dummies)
+
+    def test_real_matches_intact(self, view8):
+        noisy = with_dummy_vpins(view8, 0.3, np.random.default_rng(4))
+        for old, new in zip(view8.vpins, noisy.vpins[: len(view8)]):
+            assert new.matches == old.matches
+            assert new.location == old.location
+
+    def test_zero_fraction_identity(self, view8):
+        assert with_dummy_vpins(view8, 0.0, np.random.default_rng(0)) is view8
+
+    def test_accuracy_denominator_ignores_dummies(self, view8):
+        """Dummies dilute the LoC but not the accuracy denominator."""
+        from repro.attack.config import IMP_9
+        from repro.attack.framework import evaluate_attack, train_attack
+
+        trained = train_attack(IMP_9, [view8], seed=0)
+        noisy = with_dummy_vpins(view8, 0.5, np.random.default_rng(5))
+        result = evaluate_attack(trained, noisy)
+        assert result.n_matched_vpins == len(view8)
+        assert result.saturation_accuracy() <= 1.0
+
+
+class TestFeatureScrambling:
+    def test_locations_and_truth_untouched(self, view8):
+        noisy = with_feature_scrambling(view8, 0.5, np.random.default_rng(6))
+        for old, new in zip(view8.vpins, noisy.vpins):
+            assert new.location == old.location
+            assert new.matches == old.matches
+
+    def test_placement_features_permuted(self, view8):
+        noisy = with_feature_scrambling(view8, 1.0, np.random.default_rng(7))
+        moved = sum(
+            1
+            for old, new in zip(view8.vpins, noisy.vpins)
+            if new.pin_location != old.pin_location
+        )
+        assert moved > 0.3 * len(view8)
+        # Multiset of wirelengths is preserved (it is a permutation).
+        assert sorted(v.fragment_wirelength for v in noisy.vpins) == pytest.approx(
+            sorted(v.fragment_wirelength for v in view8.vpins)
+        )
+
+    def test_polarity_preserved(self, view8):
+        """Swaps stay within driver/sink pools, so legality is unchanged."""
+        noisy = with_feature_scrambling(view8, 1.0, np.random.default_rng(8))
+        for old, new in zip(view8.vpins, noisy.vpins):
+            assert (old.out_area > 0) == (new.out_area > 0)
+
+    def test_fraction_bounds(self, view8):
+        with pytest.raises(ValueError):
+            with_feature_scrambling(view8, 1.5, np.random.default_rng(0))
+
+
+class TestApplyDefenseSuite:
+    def test_all_defenses_run(self, views8):
+        for defense, strength in (
+            ("y-noise", 0.01),
+            ("xy-noise", 0.01),
+            ("dummies", 0.2),
+            ("scramble", 0.2),
+        ):
+            out = apply_defense_suite(views8, defense, strength, seed=0)
+            assert len(out) == len(views8)
+
+    def test_unknown_defense(self, views8):
+        with pytest.raises(ValueError):
+            apply_defense_suite(views8, "tinfoil", 1.0)
+
+    def test_geometric_defense_degrades_attack(self, views8):
+        """Position noise attacks the dominant (location) features, so it
+        must cost the attacker accuracy.  (Feature scrambling only touches
+        the weak placement features, so no such guarantee holds -- that
+        asymmetry is itself a Fig. 7 consequence.)"""
+        from repro.attack.config import IMP_9
+        from repro.attack.framework import run_loo
+
+        clean = run_loo(IMP_9, views8, seed=0)
+        clean_acc = np.mean([r.accuracy_at_loc_fraction(0.03) for r in clean])
+        defended = apply_defense_suite(views8, "xy-noise", 0.02, seed=0)
+        results = run_loo(IMP_9, defended, seed=0)
+        acc = np.mean([r.accuracy_at_loc_fraction(0.03) for r in results])
+        assert acc <= clean_acc + 0.05

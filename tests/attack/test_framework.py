@@ -1,0 +1,122 @@
+"""Tests for the attack training/evaluation driver."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import IMP_9, IMP_9Y, ML_9, AttackConfig
+from repro.attack.framework import (
+    evaluate_attack,
+    loo_folds,
+    make_classifier,
+    run_loo,
+    train_attack,
+)
+from repro.splitmfg.pair_features import legal_pair_mask
+
+
+class TestMakeClassifier:
+    def test_reptree_default(self):
+        model = make_classifier(IMP_9, seed=0)
+        assert model.n_estimators == 10
+
+    def test_randomtree_variant(self):
+        from dataclasses import replace
+
+        config = replace(ML_9, base_classifier="randomtree", n_estimators=25)
+        model = make_classifier(config, seed=0)
+        assert model.n_estimators == 25
+
+
+class TestTrainAttack:
+    def test_ml_has_no_neighborhood(self, views8):
+        trained = train_attack(ML_9, views8, seed=0)
+        assert trained.neighborhood is None
+        assert trained.limit_axis is None
+        assert trained.n_training_samples > 0
+
+    def test_imp_has_neighborhood(self, views8):
+        trained = train_attack(IMP_9, views8, seed=0)
+        assert trained.neighborhood is not None
+        assert 0 < trained.neighborhood < 1
+
+    def test_y_config_resolves_axis(self, views8):
+        trained = train_attack(IMP_9Y, views8, seed=0)
+        assert trained.limit_axis == "y"
+
+    def test_y_config_rejected_below_top_layer(self, views6):
+        with pytest.raises(ValueError):
+            train_attack(IMP_9Y, views6, seed=0)
+
+    def test_needs_views(self):
+        with pytest.raises(ValueError):
+            train_attack(ML_9, [], seed=0)
+
+
+class TestEvaluateAttack:
+    def test_ml_evaluates_all_legal_pairs(self, views8):
+        trained = train_attack(ML_9, views8[1:], seed=0)
+        view = views8[0]
+        result = evaluate_attack(trained, view)
+        n = len(view)
+        i, j = np.triu_indices(n, k=1)
+        n_legal = int(legal_pair_mask(view, i, j).sum())
+        assert result.n_pairs_evaluated == n_legal
+        assert len(result.prob) == n_legal
+        assert result.saturation_accuracy() == 1.0
+
+    def test_imp_evaluates_fewer_pairs(self, views8):
+        ml = train_attack(ML_9, views8[1:], seed=0)
+        imp = train_attack(IMP_9, views8[1:], seed=0)
+        view = views8[0]
+        assert (
+            evaluate_attack(imp, view).n_pairs_evaluated
+            < evaluate_attack(ml, view).n_pairs_evaluated
+        )
+
+    def test_y_limit_prunes_pairs_and_keeps_matches(self, views8):
+        plain = train_attack(IMP_9, views8[1:], seed=0)
+        limited = train_attack(IMP_9Y, views8[1:], seed=0)
+        view = views8[0]
+        r_plain = evaluate_attack(plain, view)
+        r_limited = evaluate_attack(limited, view)
+        assert r_limited.n_pairs_evaluated < r_plain.n_pairs_evaluated
+        # At layer 8 all matches are y-aligned, so the filter loses none.
+        assert r_limited.saturation_accuracy() == pytest.approx(
+            r_plain.saturation_accuracy()
+        )
+        arr = view.arrays()
+        dy = np.abs(arr["vy"][r_limited.pair_i] - arr["vy"][r_limited.pair_j])
+        assert (dy <= 1e-6).all()
+
+    def test_probabilities_bounded(self, views8):
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        result = evaluate_attack(trained, views8[0])
+        assert (result.prob >= 0).all() and (result.prob <= 1).all()
+
+    def test_attack_quality_sanity(self, views8):
+        """The attack must dominate random guessing by a wide margin."""
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        result = evaluate_attack(trained, views8[0])
+        accuracy = result.accuracy_at_threshold(0.5)
+        loc_fraction = result.loc_fraction_at_threshold(0.5)
+        assert accuracy > 5 * loc_fraction
+
+
+class TestLoo:
+    def test_folds_partition(self, views8):
+        folds = list(loo_folds(views8))
+        assert len(folds) == len(views8)
+        for test_view, training in folds:
+            assert test_view not in training
+            assert len(training) == len(views8) - 1
+
+    def test_run_loo_returns_one_result_per_design(self, views8):
+        results = run_loo(IMP_9, views8, seed=0)
+        assert [r.view.design_name for r in results] == [
+            v.design_name for v in views8
+        ]
+        assert all(r.config_name == "Imp-9" for r in results)
+
+    def test_run_loo_needs_two_views(self, views8):
+        with pytest.raises(ValueError):
+            run_loo(IMP_9, views8[:1], seed=0)

@@ -1,0 +1,92 @@
+"""Exactness/invariance tests of the evaluation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import IMP_9, ML_9
+from repro.attack.framework import evaluate_attack, train_attack
+
+
+class TestChunkInvariance:
+    def test_results_independent_of_chunk_size(self, views8):
+        """Chunked streaming must not change a single probability."""
+        trained = train_attack(ML_9, views8[1:], seed=0)
+        view = views8[0]
+        small = evaluate_attack(trained, view, chunk_size=97)
+        large = evaluate_attack(trained, view, chunk_size=10**6)
+
+        def canon(result):
+            order = np.lexsort((result.pair_j, result.pair_i))
+            return (
+                result.pair_i[order],
+                result.pair_j[order],
+                result.prob[order],
+            )
+
+        si, sj, sp = canon(small)
+        li, lj, lp = canon(large)
+        assert np.array_equal(si, li)
+        assert np.array_equal(sj, lj)
+        assert np.allclose(sp, lp)
+
+
+class TestResultConsistency:
+    @pytest.fixture(scope="class")
+    def result(self, views8):
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        return evaluate_attack(trained, views8[0])
+
+    def test_loc_size_equals_manual_count(self, result):
+        threshold = 0.5
+        candidates = result.per_vpin_candidates()
+        manual = np.mean(
+            [float((probs >= threshold).sum()) for _p, probs in candidates]
+        )
+        assert result.mean_loc_size_at_threshold(threshold) == pytest.approx(manual)
+
+    def test_accuracy_equals_manual_count(self, result):
+        threshold = 0.5
+        candidates = result.per_vpin_candidates()
+        hits = 0
+        total = 0
+        for vpin in result.view.vpins:
+            if not vpin.matches:
+                continue
+            total += 1
+            partners, probs = candidates[vpin.id]
+            kept = set(partners[probs >= threshold].tolist())
+            if kept & vpin.matches:
+                hits += 1
+        assert result.accuracy_at_threshold(threshold) == pytest.approx(
+            hits / total
+        )
+
+    def test_fraction_threshold_bracketing(self, result):
+        """The k-th-largest threshold brackets the requested pair count:
+        strictly-above count <= k <= at-or-above count (ties may overshoot
+        the at-or-above side, never the strict side)."""
+        n = result.n_vpins
+        for fraction in (0.01, 0.05, 0.2):
+            t = result.threshold_for_loc_fraction(fraction)
+            if np.isinf(t):
+                continue
+            k = int(np.floor(fraction * n * n / 2.0))
+            assert (result.prob > t).sum() <= k <= (result.prob >= t).sum()
+
+    def test_pairs_unique(self, result):
+        keys = result.pair_i * result.n_vpins + result.pair_j
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_no_self_pairs(self, result):
+        assert (result.pair_i != result.pair_j).all()
+
+    def test_summary_consistent_with_result(self, result):
+        from repro.attack.result import summarize
+
+        summary = summarize(result)
+        assert summary.accuracy_at_default_threshold == pytest.approx(
+            result.accuracy_at_threshold(0.5)
+        )
+        assert summary.saturation_accuracy == pytest.approx(
+            result.saturation_accuracy()
+        )

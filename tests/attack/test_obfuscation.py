@@ -1,0 +1,85 @@
+"""Tests for the y-noise obfuscation defense."""
+
+import numpy as np
+import pytest
+
+from repro.attack.obfuscation import obfuscate_suite, with_y_noise
+
+
+class TestWithYNoise:
+    def test_zero_noise_is_identity(self, view8):
+        assert with_y_noise(view8, 0.0, np.random.default_rng(0)) is view8
+
+    def test_negative_noise_rejected(self, view8):
+        with pytest.raises(ValueError):
+            with_y_noise(view8, -0.1, np.random.default_rng(0))
+
+    def test_x_and_matches_preserved(self, view8):
+        noisy = with_y_noise(view8, 0.01, np.random.default_rng(1))
+        assert len(noisy) == len(view8)
+        for old, new in zip(view8.vpins, noisy.vpins):
+            assert new.location.x == old.location.x
+            assert new.matches == old.matches
+            assert new.pin_location == old.pin_location
+
+    def test_noise_magnitude(self, view8):
+        sd_fraction = 0.01
+        noisy = with_y_noise(view8, sd_fraction, np.random.default_rng(2))
+        deltas = np.array(
+            [n.location.y - o.location.y for o, n in zip(view8.vpins, noisy.vpins)]
+        )
+        assert deltas.std() == pytest.approx(
+            sd_fraction * view8.die_height, rel=0.5
+        )
+        assert np.abs(deltas).max() > 0
+
+    def test_positions_stay_in_die(self, view8):
+        noisy = with_y_noise(view8, 0.2, np.random.default_rng(3))
+        ys = noisy.arrays()["vy"]
+        assert (ys >= 0).all() and (ys <= view8.die_height).all()
+
+    def test_rc_recomputed(self, view8):
+        noisy = with_y_noise(view8, 0.05, np.random.default_rng(4))
+        old_rc = view8.arrays()["rc"]
+        new_rc = noisy.arrays()["rc"]
+        assert not np.allclose(old_rc, new_rc)
+
+    def test_original_untouched(self, view8):
+        before = view8.arrays()["vy"].copy()
+        with_y_noise(view8, 0.05, np.random.default_rng(5))
+        assert np.array_equal(view8.arrays()["vy"], before)
+
+    def test_breaks_y_alignment(self, view8):
+        """Noise destroys the exact zero-DiffVpinY property the layer-8
+        attack exploits (the point of the defense)."""
+        noisy = with_y_noise(view8, 0.01, np.random.default_rng(6))
+        arr = noisy.arrays()
+        aligned = 0
+        total = 0
+        for vpin in noisy.vpins:
+            for m in vpin.matches:
+                total += 1
+                if abs(arr["vy"][vpin.id] - arr["vy"][m]) <= 1e-6:
+                    aligned += 1
+        assert total > 0
+        assert aligned / total < 0.1
+
+
+class TestObfuscateSuite:
+    def test_independent_draws_per_view(self, views8):
+        noisy = obfuscate_suite(views8, 0.01, seed=0)
+        assert len(noisy) == len(views8)
+        deltas0 = [
+            n.location.y - o.location.y
+            for o, n in zip(views8[0].vpins, noisy[0].vpins)
+        ]
+        deltas1 = [
+            n.location.y - o.location.y
+            for o, n in zip(views8[1].vpins, noisy[1].vpins)
+        ]
+        assert deltas0[: len(deltas1)] != deltas1[: len(deltas0)]
+
+    def test_deterministic_given_seed(self, views8):
+        a = obfuscate_suite(views8, 0.01, seed=7)
+        b = obfuscate_suite(views8, 0.01, seed=7)
+        assert np.array_equal(a[0].arrays()["vy"], b[0].arrays()["vy"])

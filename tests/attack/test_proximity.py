@@ -1,0 +1,132 @@
+"""Tests for the proximity attack and its validation procedure."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import IMP_9
+from repro.attack.framework import evaluate_attack, train_attack
+from repro.attack.proximity import (
+    DEFAULT_PA_FRACTIONS,
+    pa_success_rate,
+    run_validated_pa,
+    validate_pa_fraction,
+)
+from repro.attack.result import AttackResult
+from repro.layout.geometry import Point
+from repro.splitmfg.split import SplitView, VPin
+
+
+def _view(locations, matches):
+    vpins = []
+    for vid, (x, y) in enumerate(locations):
+        vpins.append(
+            VPin(
+                id=vid,
+                net=f"n{vid}",
+                location=Point(x, y),
+                fragment_wirelength=0.0,
+                pins=(),
+                pin_location=Point(x, y),
+                in_area=1.0,
+                out_area=0.0,
+                matches=frozenset(matches.get(vid, ())),
+            )
+        )
+    return SplitView(
+        design_name="t", split_layer=8, die_width=100, die_height=100, vpins=vpins
+    )
+
+
+class TestPaMechanics:
+    def test_picks_nearest_candidate(self):
+        # v0 at origin; candidates: v1 (far, match), v2 (near, not match).
+        view = _view(
+            [(0, 0), (50, 0), (10, 0)], {0: {1}, 1: {0}}
+        )
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 0]),
+            pair_j=np.array([1, 2]),
+            prob=np.array([0.9, 0.8]),
+        )
+        # v2 is nearer -> PA picks it -> failure for v0; v1's only
+        # candidate is v0 (its match) -> success.
+        rate = pa_success_rate(result, threshold=0.5)
+        assert rate == pytest.approx(0.5)
+
+    def test_fraction_limits_pa_loc(self):
+        # With a tiny PA-LoC only the highest-probability candidate stays.
+        view = _view([(0, 0), (50, 0), (10, 0)], {0: {1}, 1: {0}})
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 0]),
+            pair_j=np.array([1, 2]),
+            prob=np.array([0.9, 0.8]),
+        )
+        rate = pa_success_rate(result, pa_fraction=1e-6)
+        # k = max(1, ...) = 1 -> v0 keeps only v1 (p=.9, its match).
+        assert rate == pytest.approx(1.0)
+
+    def test_probability_tie_break(self):
+        # Two candidates at the same distance; higher p must win.
+        view = _view([(0, 0), (10, 0), (0, 10)], {0: {1}, 1: {0}})
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 0]),
+            pair_j=np.array([1, 2]),
+            prob=np.array([0.9, 0.3]),
+        )
+        assert pa_success_rate(result, threshold=0.1) == pytest.approx(1.0)
+
+    def test_empty_loc_fails(self):
+        view = _view([(0, 0), (50, 0)], {0: {1}, 1: {0}})
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0]),
+            pair_j=np.array([1]),
+            prob=np.array([0.2]),
+        )
+        assert pa_success_rate(result, threshold=0.5) == 0.0
+
+    def test_targets_subset(self):
+        view = _view([(0, 0), (50, 0), (10, 0)], {0: {1}, 1: {0}})
+        result = AttackResult(
+            view=view,
+            pair_i=np.array([0, 0]),
+            pair_j=np.array([1, 2]),
+            prob=np.array([0.9, 0.8]),
+        )
+        # Only v1 as target: its sole candidate is its match.
+        assert pa_success_rate(
+            result, threshold=0.5, targets=np.array([1])
+        ) == pytest.approx(1.0)
+
+
+class TestValidationProcedure:
+    def test_validate_returns_grid_member(self, views8):
+        best, rates, elapsed = validate_pa_fraction(
+            IMP_9, views8, fractions=(0.01, 0.05), seed=0
+        )
+        assert best in (0.01, 0.05)
+        assert set(rates) == {0.01, 0.05}
+        assert all(0 <= r <= 1 for r in rates.values())
+        assert elapsed > 0
+
+    def test_run_validated_pa(self, views8):
+        outcome = run_validated_pa(
+            IMP_9, views8, test_index=0, fractions=(0.02, 0.08), seed=1
+        )
+        assert outcome.design_name == views8[0].design_name
+        assert outcome.best_fraction in (0.02, 0.08)
+        assert 0 <= outcome.success_rate <= 1
+
+    def test_pa_beats_random_matching(self, views8):
+        """PA success must far exceed the 1/n random-guess rate."""
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        result = evaluate_attack(trained, views8[0])
+        rate = pa_success_rate(result, pa_fraction=0.05)
+        assert rate > 3.0 / len(views8[0])
+
+    def test_default_fraction_grid(self):
+        assert all(0 < f <= 0.5 for f in DEFAULT_PA_FRACTIONS)
+        assert list(DEFAULT_PA_FRACTIONS) == sorted(DEFAULT_PA_FRACTIONS)

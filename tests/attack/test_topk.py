@@ -1,0 +1,99 @@
+"""Tests for the streaming top-K evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import IMP_9, ML_9
+from repro.attack.framework import evaluate_attack, train_attack
+from repro.attack.topk import TopKTracker, evaluate_attack_topk
+
+
+class TestTracker:
+    def test_exact_topk_per_vpin(self):
+        rng = np.random.default_rng(0)
+        n, k = 12, 3
+        tracker = TopKTracker(n, k)
+        i, j = np.triu_indices(n, k=1)
+        p = rng.random(len(i))
+        # Feed in shuffled chunks.
+        order = rng.permutation(len(i))
+        for chunk in np.array_split(order, 5):
+            tracker.update(i[chunk], j[chunk], p[chunk])
+        ti, tj, tp = tracker.harvest()
+        # Reference: for each v, its top-k candidates by probability.
+        prob_matrix = np.zeros((n, n))
+        prob_matrix[i, j] = p
+        prob_matrix[j, i] = p
+        surviving = set(zip(ti.tolist(), tj.tolist()))
+        for v in range(n):
+            others = np.delete(np.arange(n), v)
+            top = others[np.argsort(prob_matrix[v, others])[::-1][:k]]
+            for u in top:
+                assert (min(v, u), max(v, u)) in surviving
+
+    def test_probabilities_match(self):
+        tracker = TopKTracker(4, 2)
+        tracker.update(
+            np.array([0, 0, 0]), np.array([1, 2, 3]), np.array([0.9, 0.5, 0.7])
+        )
+        i, j, p = tracker.harvest()
+        kept = dict(zip(zip(i.tolist(), j.tolist()), p.tolist()))
+        assert kept[(0, 1)] == 0.9
+        assert kept[(0, 3)] == 0.7
+        # (0,2) is outside v0's top-2 but survives through v2's own list
+        # (union semantics); its probability is preserved.
+        assert kept[(0, 2)] == 0.5
+
+    def test_eviction_outside_both_sides(self):
+        """A pair outside the top-K of *both* endpoints is dropped."""
+        tracker = TopKTracker(3, 1)
+        tracker.update(
+            np.array([0, 0, 1]), np.array([1, 2, 2]), np.array([0.9, 0.1, 0.8])
+        )
+        i, j, _p = tracker.harvest()
+        kept = set(zip(i.tolist(), j.tolist()))
+        # v0 keeps (0,1); v1 keeps (0,1); v2 keeps (1,2): (0,2) evicted.
+        assert kept == {(0, 1), (1, 2)}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopKTracker(5, 0)
+
+    def test_empty_update(self):
+        tracker = TopKTracker(3, 2)
+        tracker.update(np.zeros(0, dtype=int), np.zeros(0, dtype=int), np.zeros(0))
+        i, _j, _p = tracker.harvest()
+        assert len(i) == 0
+
+
+class TestEvaluateTopK:
+    def test_matches_exact_evaluation_above_cutoff(self, views8):
+        """With K >= max per-v-pin degree, streaming == exact."""
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        view = views8[0]
+        exact = evaluate_attack(trained, view)
+        streamed = evaluate_attack_topk(trained, view, k=len(view))
+        assert streamed.n_pairs_evaluated == exact.n_pairs_evaluated
+        assert streamed.accuracy_at_threshold(0.5) == pytest.approx(
+            exact.accuracy_at_threshold(0.5)
+        )
+        assert streamed.mean_loc_size_at_threshold(0.5) == pytest.approx(
+            exact.mean_loc_size_at_threshold(0.5)
+        )
+
+    def test_small_k_bounds_memory(self, views8):
+        trained = train_attack(ML_9, views8[1:], seed=0)
+        view = views8[0]
+        streamed = evaluate_attack_topk(trained, view, k=4, chunk_size=1000)
+        # At most 4 survivors per v-pin side (union-bounded).
+        assert len(streamed.prob) <= 4 * len(view)
+        # High-probability LoCs are preserved.
+        exact = evaluate_attack(trained, view)
+        assert streamed.accuracy_at_threshold(0.9) == pytest.approx(
+            exact.accuracy_at_threshold(0.9), abs=0.05
+        )
+
+    def test_config_name_tagged(self, views8):
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        streamed = evaluate_attack_topk(trained, views8[0], k=8)
+        assert streamed.config_name == "Imp-9+top8"

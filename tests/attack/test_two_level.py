@@ -1,0 +1,54 @@
+"""Tests for two-level pruning (Section III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import IMP_9, IMP_11
+from repro.attack.two_level import (
+    apply_two_level,
+    run_two_level_fold,
+    train_two_level,
+)
+
+
+class TestTrainTwoLevel:
+    def test_builds_both_levels(self, views8):
+        level1, level2 = train_two_level(IMP_9, views8[1:], seed=0)
+        assert level1.config is IMP_9
+        assert level2.model.estimators_
+
+    def test_level2_differs_from_level1(self, views8):
+        level1, level2 = train_two_level(IMP_9, views8[1:], seed=0)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, len(IMP_9.features))) * 100
+        assert not np.array_equal(
+            level1.model.predict_proba(np.abs(X)),
+            level2.model.predict_proba(np.abs(X)),
+        )
+
+
+class TestApplyTwoLevel:
+    def test_pruned_pairs_subset_of_level1_loc(self, views8):
+        level1, level2 = train_two_level(IMP_9, views8[1:], seed=0)
+        outcome = apply_two_level(level1, level2, views8[0])
+        r1, r2 = outcome.level1, outcome.two_level
+        keep = r1.prob >= 0.5
+        assert len(r2.prob) == int(keep.sum())
+        assert np.array_equal(r2.pair_i, r1.pair_i[keep])
+        assert np.array_equal(r2.pair_j, r1.pair_j[keep])
+
+    def test_pruning_shrinks_loc(self, views8):
+        outcome = run_two_level_fold(IMP_9, views8, test_index=0, seed=0)
+        assert (
+            outcome.two_level.mean_loc_size_at_threshold(0.5)
+            <= outcome.level1.mean_loc_size_at_threshold(0.5)
+        )
+
+    def test_config_name_tagged(self, views8):
+        outcome = run_two_level_fold(IMP_11, views8, test_index=1, seed=0)
+        assert outcome.two_level.config_name == "Imp-11+2L"
+        assert outcome.level1.config_name == "Imp-11"
+
+    def test_runtime_accumulates(self, views8):
+        outcome = run_two_level_fold(IMP_9, views8, test_index=0, seed=0)
+        assert outcome.two_level.test_time >= outcome.level1.test_time

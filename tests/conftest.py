@@ -1,0 +1,46 @@
+"""Shared fixtures: small-but-real designs and split views.
+
+Benchmark generation is the expensive part of most tests, so the suite
+shares session-scoped artifacts at a small scale.  Tests that need full
+control build their own tiny designs instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.splitmfg.vpin_features import make_split_view
+from repro.synth.benchmarks import BENCHMARK_SPECS, build_benchmark
+
+TEST_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """One routed benchmark at test scale (sb1)."""
+    return build_benchmark(BENCHMARK_SPECS[0], scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """Three routed benchmarks at test scale (sb1, sb5, sb18)."""
+    specs = [s for s in BENCHMARK_SPECS if s.name in ("sb1", "sb5", "sb18")]
+    return [build_benchmark(spec, scale=TEST_SCALE) for spec in specs]
+
+
+@pytest.fixture(scope="session")
+def views8(small_suite):
+    """Split views of the small suite at the highest via layer."""
+    return [make_split_view(d, 8) for d in small_suite]
+
+
+@pytest.fixture(scope="session")
+def views6(small_suite):
+    """Split views of the small suite at via layer 6."""
+    return [make_split_view(d, 6) for d in small_suite]
+
+
+@pytest.fixture(scope="session")
+def view8(views8):
+    """The largest layer-8 view (most v-pins) of the small suite."""
+    return max(views8, key=len)

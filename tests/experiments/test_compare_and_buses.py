@@ -1,0 +1,34 @@
+"""Smoke tests for the paper comparison and the bus-regularity extension."""
+
+import pytest
+
+from repro.experiments import common, compare_paper, extension_buses
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestComparePaper:
+    def test_structure_and_majority_of_shapes(self):
+        out = compare_paper.run(scale=SCALE)
+        checks = out.data["checks"]
+        assert len(checks) >= 12
+        # At tiny test scale some statistical criteria may wobble, but
+        # the bulk of the paper's shape must hold.
+        assert sum(checks.values()) >= 0.7 * len(checks)
+        assert "shape criteria hold" in out.report
+
+
+class TestExtensionBuses:
+    def test_reports_both_groups(self):
+        out = extension_buses.run(scale=SCALE)
+        assert out.data["bus"]["count"] > 0
+        assert out.data["logic"]["count"] > 0
+        assert 0 <= out.data["bus"]["accuracy"] <= 1
+        assert "bus v-pins" in out.report

@@ -1,0 +1,123 @@
+"""Smoke tests: every table/figure experiment runs end-to-end at tiny scale.
+
+These exercise the exact code paths the benchmark harness uses; content
+checks are lightweight (the full shape assertions live in the integration
+tests and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments import (
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestCommon:
+    def test_suite_cached(self):
+        a = common.get_suite(SCALE)
+        b = common.get_suite(SCALE)
+        assert a is b
+        assert [d.name for d in a] == ["sb1", "sb5", "sb10", "sb12", "sb18"]
+
+    def test_views_cached(self):
+        a = common.get_views(8, SCALE)
+        assert a is common.get_views(8, SCALE)
+        assert len(a) == 5
+
+
+class TestTables:
+    def test_table1(self):
+        out = table1.run(scale=SCALE, layers=(8,))
+        assert "Table I" in out.report
+        assert 8 in out.data
+        assert len(out.data[8]) == 5
+
+    def test_table2(self):
+        out = table2.run(scale=SCALE, layers=(8,))
+        assert "Table II" in out.report
+        data = out.data[8]
+        assert data["reptree_runtime"] < data["randomtree_runtime"]
+
+    def test_table3(self):
+        out = table3.run(scale=SCALE, layers=(8,))
+        assert "Table III" in out.report
+        for record in out.data[8]:
+            assert record["pruned_loc"] <= record["plain_loc"] + 1e-9
+
+    def test_table4(self):
+        out = table4.run(scale=SCALE, layers=(8,))
+        assert "Table IV" in out.report
+        assert set(out.data[8]) == {
+            "ML-9",
+            "Imp-9",
+            "Imp-7",
+            "Imp-11",
+            "ML-9Y",
+            "Imp-9Y",
+            "Imp-7Y",
+            "Imp-11Y",
+        }
+
+    def test_table5(self):
+        from repro.attack.config import IMP_9
+
+        out = table5.run(scale=SCALE, layers=(8,), configs=(IMP_9,))
+        assert "Table V" in out.report
+        per_design = out.data[8]["per_design"]
+        assert len(per_design) == 5
+        for values in per_design.values():
+            assert "[5]" in values and "Imp-9 valid." in values
+
+    def test_table6(self):
+        out = table6.run(scale=SCALE, layers=(6,), noise_levels=(0.0, 0.01))
+        assert "Table VI" in out.report
+        for values in out.data[6].values():
+            assert set(values) == {0.0, 0.01}
+
+
+class TestFigures:
+    def test_figure4(self):
+        out = figure4.run(scale=SCALE)
+        assert "Fig. 4" in out.report
+        for entry in out.data.values():
+            assert entry["p80"] <= entry["p90"] <= entry["p95"]
+
+    def test_figure7(self):
+        out = figure7.run(scale=SCALE, layers=(8,))
+        assert "Fig. 7" in out.report
+        assert 8 in out.data
+
+    def test_figure8(self):
+        out = figure8.run(scale=SCALE, layer=6)
+        assert "Fig. 8" in out.report
+        assert "ManhattanVpin" in out.data
+
+    def test_figure9(self):
+        out = figure9.run(scale=SCALE, layers=(8,))
+        assert "Fig. 9" in out.report
+        assert "[5]" in out.data[8]
+
+    def test_figure10(self):
+        out = figure10.run(scale=SCALE, layers=(6,), noise_levels=(0.0, 0.01))
+        assert "Fig. 10" in out.report
+        assert "no noise" in out.data[6]

@@ -1,0 +1,72 @@
+"""Smoke + shape tests for the extension and ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablation_neighborhood, common, extension_matching
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestExtensionMatching:
+    def test_runs_and_reports(self):
+        out = extension_matching.run(scale=SCALE, layers=(8,))
+        assert "global matching" in out.report
+        records = out.data[8]
+        assert len(records) == 5
+        for record in records:
+            assert 0 <= record["matching"] <= 1
+            assert record["max_component"] >= 0
+
+
+class TestAblationNeighborhood:
+    def test_percentile_monotonicity(self):
+        out = ablation_neighborhood.run(
+            scale=SCALE, layer=6, percentiles=(70.0, 95.0)
+        )
+        data = out.data
+        # Wider neighborhoods test more pairs and saturate higher.
+        assert data[70.0]["pairs"] < data[95.0]["pairs"]
+        assert data[70.0]["saturation"] <= data[95.0]["saturation"] + 1e-9
+
+
+class TestExtensionDefenses:
+    def test_reports_all_defenses(self):
+        from repro.experiments import extension_defenses
+
+        out = extension_defenses.run(
+            scale=SCALE, layer=8, grid=(("y-noise", 0.01), ("dummies", 0.3))
+        )
+        assert set(out.data) == {"none", "y-noise", "dummies"}
+        for entry in out.data.values():
+            assert 0 <= entry["accuracy"] <= 1
+
+
+class TestIllustrations:
+    def test_renders_all_three_blocks(self):
+        from repro.experiments import illustrations
+
+        out = illustrations.run(scale=SCALE, layer=6)
+        assert "Fig. 2/3" in out.report
+        assert "Fig. 5" in out.report
+        assert "Fig. 6" in out.report
+
+
+class TestAblationCalibration:
+    def test_bagging_beats_single_tree_brier(self):
+        from repro.experiments import ablation_calibration
+
+        out = ablation_calibration.run(scale=SCALE, layer=6)
+        assert out.data["Bagging(10)"]["brier"] <= out.data["1 REPTree"]["brier"] + 0.02
+        # Soft voting multiplies the probability lattice -- the property
+        # that makes Section III-F's threshold dial usable.
+        assert (
+            out.data["Bagging(10)"]["distinct_probs"]
+            > 3 * out.data["1 REPTree"]["distinct_probs"]
+        )

@@ -1,0 +1,38 @@
+"""Smoke + shape tests for the security/classifier extension experiments."""
+
+import pytest
+
+from repro.experiments import common, extension_classifiers, extension_security
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestExtensionSecurity:
+    def test_bits_ordering(self):
+        out = extension_security.run(scale=SCALE, layers=(8,))
+        entry = out.data[8]
+        assert 0 <= entry["residual_bits"] <= entry["baseline_bits"]
+        assert 0 <= entry["net_recovery_rate"] <= entry["connection_rate"] + 1e-9
+
+    def test_lower_layer_keeps_more_bits(self):
+        """The paper's 'lower split = more security', in bits."""
+        out = extension_security.run(scale=SCALE, layers=(8, 4))
+        assert out.data[4]["residual_bits"] >= out.data[8]["residual_bits"] - 0.5
+
+
+class TestExtensionClassifiers:
+    def test_runs_with_subset(self):
+        out = extension_classifiers.run(
+            scale=SCALE, layer=8, names=("Bagging(10 REPTree)", "kNN(k=5)")
+        )
+        assert set(out.data) == {"Bagging(10 REPTree)", "kNN(k=5)"}
+        for entry in out.data.values():
+            assert 0 <= entry["accuracy_at_3pct"] <= 1
+            assert entry["runtime"] > 0

@@ -1,0 +1,56 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.run_all import ALL_EXPERIMENTS, run_all
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestRegistry:
+    def test_every_paper_table_and_figure_registered(self):
+        names = [name for name, _ in ALL_EXPERIMENTS]
+        for expected in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure4",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+        ):
+            assert expected in names
+
+    def test_extensions_and_ablations_registered(self):
+        names = [name for name, _ in ALL_EXPERIMENTS]
+        assert "extension_matching" in names
+        assert "ablation_neighborhood" in names
+        assert "compare_paper" in names
+        assert "illustrations" in names
+
+    def test_every_module_has_run(self):
+        for _name, module in ALL_EXPERIMENTS:
+            assert callable(module.run)
+
+
+class TestRunAll:
+    def test_only_filter(self):
+        outputs = run_all(scale=0.1, only=("figure4", "figure8"))
+        assert set(outputs) == {"figure4", "figure8"}
+        for output in outputs.values():
+            assert output.report
+            assert output.data["elapsed_seconds"] > 0
+
+    def test_unknown_name_is_ignored(self):
+        outputs = run_all(scale=0.1, only=("nonexistent",))
+        assert outputs == {}

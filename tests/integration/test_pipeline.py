@@ -1,0 +1,132 @@
+"""Integration tests: the full paper pipeline end-to-end.
+
+These assert the *shape* results the reproduction targets (see DESIGN.md
+section 4) at test scale, on the shared three-design suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.baselines import PriorWorkAttack
+from repro.attack.config import IMP_9, IMP_11, ML_9
+from repro.attack.framework import evaluate_attack, run_loo, train_attack
+from repro.attack.obfuscation import obfuscate_suite
+from repro.attack.proximity import pa_success_rate
+from repro.splitmfg.sampling import neighborhood_fraction
+
+
+class TestCrossValidationHygiene:
+    def test_training_excludes_test_design(self, views8):
+        """The neighborhood learned per fold must not see the test design."""
+        for k, view in enumerate(views8):
+            rest = views8[:k] + views8[k + 1 :]
+            trained = train_attack(IMP_9, rest, seed=0)
+            assert trained.neighborhood == pytest.approx(
+                neighborhood_fraction(rest, 90.0)
+            )
+
+    def test_different_folds_different_models(self, views8):
+        r0 = train_attack(IMP_9, views8[1:], seed=0)
+        r1 = train_attack(IMP_9, views8[:-1], seed=0)
+        assert r0.n_training_samples != r1.n_training_samples
+
+
+class TestHeadlineShapes:
+    def test_layer8_attack_is_strong(self, views8):
+        """Paper Table I: near-perfect accuracy with tiny LoCs at layer 8."""
+        results = run_loo(ML_9, views8, seed=0)
+        accuracy = np.mean([r.accuracy_at_threshold(0.5) for r in results])
+        mean_loc = np.mean([r.mean_loc_size_at_threshold(0.5) for r in results])
+        mean_n = np.mean([len(v) for v in views8])
+        assert accuracy > 0.7
+        assert mean_loc < 0.2 * mean_n
+
+    def test_ml_beats_prior_work_everywhere(self, views8, views6):
+        """At the baseline's accuracy the ML LoC must be smaller, for every
+        design and layer (Table I's aligned comparison)."""
+        for views in (views8, views6):
+            for k, view in enumerate(views):
+                rest = views[:k] + views[k + 1 :]
+                baseline = PriorWorkAttack().fit(rest)
+                prior = baseline.evaluate(view, margin=1.5)
+                trained = train_attack(IMP_11, rest, seed=k)
+                result = evaluate_attack(trained, view)
+                target = min(prior.accuracy, result.saturation_accuracy() - 1e-9)
+                ml_loc = result.mean_loc_size_for_accuracy(target)
+                assert ml_loc is not None
+                assert ml_loc < prior.mean_loc_size
+
+    def test_lower_layer_is_harder(self, views8, views6):
+        """Table IV: accuracy at a fixed LoC fraction degrades from layer 8
+        to layer 6, while v-pin counts grow."""
+        acc8 = np.mean(
+            [
+                r.accuracy_at_loc_fraction(0.03)
+                for r in run_loo(IMP_9, views8, seed=0)
+            ]
+        )
+        acc6 = np.mean(
+            [
+                r.accuracy_at_loc_fraction(0.03)
+                for r in run_loo(IMP_9, views6, seed=0)
+            ]
+        )
+        assert acc8 > acc6
+        assert sum(len(v) for v in views6) > 2 * sum(len(v) for v in views8)
+
+    def test_imp_saturates_ml_does_not(self, views6):
+        """A tighter neighborhood percentile must cut some true matches
+        out of testing entirely (the Section III-D trade-off), while ML
+        never saturates below 100%."""
+        from dataclasses import replace
+
+        tight = replace(IMP_9, name="Imp-9/p70", neighborhood_percentile=70.0)
+        ml = run_loo(ML_9, views6, seed=0)
+        imp = run_loo(tight, views6, seed=0)
+        assert np.mean([r.saturation_accuracy() for r in ml]) == pytest.approx(1.0)
+        assert np.mean([r.saturation_accuracy() for r in imp]) < 0.95
+
+    def test_imp_tests_fewer_pairs(self, views6):
+        ml = run_loo(ML_9, views6, seed=0)
+        imp = run_loo(IMP_9, views6, seed=0)
+        assert sum(r.n_pairs_evaluated for r in imp) < 0.7 * sum(
+            r.n_pairs_evaluated for r in ml
+        )
+
+
+class TestObfuscationDefense:
+    def test_noise_degrades_attack_and_pa(self, views6):
+        """Table VI / Fig. 10: 1% y-noise hurts both accuracy and PA."""
+        noisy = obfuscate_suite(views6, 0.01, seed=0)
+        clean_results = run_loo(IMP_11, views6, seed=0)
+        noisy_results = run_loo(IMP_11, noisy, seed=0)
+        clean_acc = np.mean(
+            [r.accuracy_at_loc_fraction(0.01) for r in clean_results]
+        )
+        noisy_acc = np.mean(
+            [r.accuracy_at_loc_fraction(0.01) for r in noisy_results]
+        )
+        assert noisy_acc < clean_acc
+        clean_pa = np.mean(
+            [pa_success_rate(r, pa_fraction=0.02) for r in clean_results]
+        )
+        noisy_pa = np.mean(
+            [pa_success_rate(r, pa_fraction=0.02) for r in noisy_results]
+        )
+        assert noisy_pa < clean_pa
+
+
+class TestDeterminism:
+    def test_full_attack_reproducible(self, views8):
+        a = run_loo(IMP_9, views8, seed=42)
+        b = run_loo(IMP_9, views8, seed=42)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.prob, rb.prob)
+            assert np.array_equal(ra.pair_i, rb.pair_i)
+
+    def test_seed_changes_results(self, views8):
+        a = run_loo(IMP_9, views8, seed=1)
+        b = run_loo(IMP_9, views8, seed=2)
+        assert any(
+            not np.array_equal(ra.prob, rb.prob) for ra, rb in zip(a, b)
+        )

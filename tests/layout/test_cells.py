@@ -1,0 +1,105 @@
+"""Tests for the synthetic standard-cell library."""
+
+import pytest
+
+from repro.layout.cells import (
+    CellLibrary,
+    CellMaster,
+    PinDirection,
+    PinSpec,
+    make_standard_library,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return make_standard_library()
+
+
+class TestLibraryContents:
+    def test_has_cells_and_macros(self, library):
+        assert len(library.standard_cells) >= 40
+        assert len(library.macros) == 2
+
+    def test_master_names_unique(self, library):
+        names = [m.name for m in library.masters]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self, library):
+        inv = library.master("INV_X1")
+        assert inv.drive_strength == 1.0
+        assert "INV_X1" in library
+        assert "NOPE" not in library
+        with pytest.raises(KeyError):
+            library.master("NOPE")
+
+    def test_area_grows_with_drive_strength(self, library):
+        """The correlation the InArea/OutArea features rely on."""
+        for function in ("INV", "NAND2", "DFF"):
+            areas = [
+                library.master(f"{function}_X{s:g}").area for s in (1, 2, 4, 8)
+            ]
+            assert areas == sorted(areas)
+            assert areas[-1] > 2 * areas[0]
+
+    def test_macros_are_area_outliers(self, library):
+        biggest_std = max(m.area for m in library.standard_cells)
+        smallest_macro = min(m.area for m in library.macros)
+        assert smallest_macro > 5 * biggest_std
+
+    def test_every_standard_cell_has_one_output(self, library):
+        for master in library.standard_cells:
+            assert len(master.output_pins) == 1
+            assert len(master.input_pins) >= 1
+
+    def test_pin_offsets_inside_cell(self, library):
+        for master in library.masters:
+            for pin in master.pins:
+                assert 0 <= pin.offset_x <= master.width
+                assert 0 <= pin.offset_y <= master.height
+
+
+class TestCellMasterValidation:
+    def test_duplicate_pins_rejected(self):
+        pins = (
+            PinSpec("A", PinDirection.INPUT),
+            PinSpec("A", PinDirection.OUTPUT),
+        )
+        with pytest.raises(ValueError):
+            CellMaster(name="bad", width=1, height=1, pins=pins)
+
+    def test_no_output_rejected(self):
+        pins = (PinSpec("A", PinDirection.INPUT),)
+        with pytest.raises(ValueError):
+            CellMaster(name="bad", width=1, height=1, pins=pins)
+
+    def test_macro_may_lack_output(self):
+        pins = (PinSpec("A", PinDirection.INPUT),)
+        master = CellMaster(name="m", width=1, height=1, pins=pins, is_macro=True)
+        assert master.is_macro
+
+    def test_nonpositive_dims_rejected(self):
+        pins = (PinSpec("Y", PinDirection.OUTPUT),)
+        with pytest.raises(ValueError):
+            CellMaster(name="bad", width=0, height=1, pins=pins)
+
+    def test_pin_lookup(self):
+        pins = (
+            PinSpec("A", PinDirection.INPUT),
+            PinSpec("Y", PinDirection.OUTPUT),
+        )
+        master = CellMaster(name="ok", width=2, height=1, pins=pins)
+        assert master.pin("A").direction is PinDirection.INPUT
+        with pytest.raises(KeyError):
+            master.pin("B")
+
+
+class TestCellLibraryValidation:
+    def test_duplicate_masters_rejected(self):
+        pins = (PinSpec("Y", PinDirection.OUTPUT),)
+        master = CellMaster(name="X", width=1, height=1, pins=pins)
+        with pytest.raises(ValueError):
+            CellLibrary(name="bad", masters=(master, master))
+
+    def test_len(self, library):
+        assert len(library) == len(library.masters)

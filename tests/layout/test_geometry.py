@@ -1,0 +1,143 @@
+"""Unit and property tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout.geometry import (
+    Point,
+    Rect,
+    bounding_box,
+    centroid,
+    hpwl,
+    snap,
+    snap_point,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_manhattan_known(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_euclidean_known(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_chebyshev_known(self):
+        assert Point(0, 0).chebyshev(Point(3, 4)) == 4
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_iter_and_tuple(self):
+        assert tuple(Point(5, 6)) == (5, 6) == Point(5, 6).as_tuple()
+
+    @given(points, points)
+    def test_manhattan_symmetric(self, a, b):
+        assert a.manhattan(b) == b.manhattan(a)
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6
+
+    @given(points)
+    def test_manhattan_identity(self, a):
+        assert a.manhattan(a) == 0
+
+    @given(points, points)
+    def test_metric_ordering(self, a, b):
+        """Chebyshev <= Euclidean <= Manhattan for any pair."""
+        assert a.chebyshev(b) <= a.euclidean(b) + 1e-9
+        assert a.euclidean(b) <= a.manhattan(b) + 1e-9
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_from_points_any_order(self):
+        r = Rect.from_points(Point(5, 1), Point(2, 7))
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (2, 1, 5, 7)
+
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.half_perimeter == 6
+        assert r.center == Point(2, 1)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(1, 1))
+        assert not r.contains(Point(1.01, 0.5))
+        assert r.contains(Point(1.01, 0.5), tol=0.02)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rect(2.1, 0, 3, 1))
+
+    def test_expanded(self):
+        r = Rect(1, 1, 2, 2).expanded(1)
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (0, 0, 3, 3)
+
+    def test_clamp(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.clamp(Point(5, -3)) == Point(1, 0)
+        assert r.clamp(Point(0.5, 0.5)) == Point(0.5, 0.5)
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        r = bounding_box([Point(1, 5), Point(3, 2), Point(2, 9)])
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (1, 2, 3, 9)
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_hpwl(self):
+        assert hpwl([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_centroid(self):
+        assert centroid([Point(0, 0), Point(2, 4)]) == Point(1, 2)
+
+    def test_centroid_empty(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_centroid_inside_bbox(self, pts):
+        c = centroid(pts)
+        box = bounding_box(pts)
+        assert box.contains(c, tol=1e-6)
+
+
+class TestSnap:
+    def test_snap_known(self):
+        assert snap(7.4, 2.0) == 8.0
+        assert snap(-3.1, 2.0) == -4.0
+
+    def test_snap_zero_pitch(self):
+        with pytest.raises(ValueError):
+            snap(1.0, 0.0)
+
+    @given(coords, st.floats(0.01, 100))
+    def test_snap_idempotent(self, value, pitch):
+        once = snap(value, pitch)
+        assert snap(once, pitch) == pytest.approx(once)
+
+    @given(coords, st.floats(0.01, 100))
+    def test_snap_within_half_pitch(self, value, pitch):
+        assert abs(snap(value, pitch) - value) <= pitch / 2 + 1e-9 * abs(value)
+
+    def test_snap_point(self):
+        assert snap_point(Point(7.4, 1.2), 2.0) == Point(8.0, 2.0)

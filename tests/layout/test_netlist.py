@@ -1,0 +1,109 @@
+"""Tests for netlist structure and validation."""
+
+import pytest
+
+from repro.layout.cells import make_standard_library
+from repro.layout.geometry import Point
+from repro.layout.netlist import CellInstance, Net, Netlist, PinRef
+
+
+@pytest.fixture()
+def netlist():
+    library = make_standard_library()
+    nl = Netlist(name="t", library=library)
+    inv = library.master("INV_X1")
+    nand = library.master("NAND2_X1")
+    nl.add_cell(CellInstance("u0", inv, Point(0, 0)))
+    nl.add_cell(CellInstance("u1", nand, Point(100, 0)))
+    nl.add_cell(CellInstance("u2", inv, Point(0, 100)))
+    return nl
+
+
+class TestCellInstance:
+    def test_unplaced_pin_location_raises(self):
+        library = make_standard_library()
+        cell = CellInstance("u", library.master("INV_X1"))
+        assert not cell.is_placed
+        with pytest.raises(ValueError):
+            cell.pin_location("Y")
+        with pytest.raises(ValueError):
+            _ = cell.outline
+
+    def test_pin_location_offsets(self, netlist):
+        cell = netlist.cells[0]
+        master = cell.master
+        y_pin = master.pin("Y")
+        assert cell.pin_location("Y") == Point(y_pin.offset_x, y_pin.offset_y)
+
+    def test_outline(self, netlist):
+        outline = netlist.cells[1].outline
+        assert outline.xlo == 100
+        assert outline.width == netlist.cells[1].master.width
+
+
+class TestNetValidation:
+    def test_net_requires_sinks(self):
+        with pytest.raises(ValueError):
+            Net(name="n", driver=PinRef(0, "Y"), sinks=())
+
+    def test_add_net_checks_directions(self, netlist):
+        # driver must be an output pin
+        with pytest.raises(ValueError):
+            netlist.add_net(
+                Net(name="n", driver=PinRef(0, "A"), sinks=(PinRef(1, "A"),))
+            )
+        # sink must be an input pin
+        with pytest.raises(ValueError):
+            netlist.add_net(
+                Net(name="n", driver=PinRef(0, "Y"), sinks=(PinRef(1, "Y"),))
+            )
+
+    def test_add_net_checks_cell_index(self, netlist):
+        with pytest.raises(ValueError):
+            netlist.add_net(
+                Net(name="n", driver=PinRef(9, "Y"), sinks=(PinRef(1, "A"),))
+            )
+
+    def test_add_net_checks_pin_name(self, netlist):
+        with pytest.raises(KeyError):
+            netlist.add_net(
+                Net(name="n", driver=PinRef(0, "Q"), sinks=(PinRef(1, "A"),))
+            )
+
+    def test_valid_net(self, netlist):
+        netlist.add_net(
+            Net(name="n0", driver=PinRef(0, "Y"), sinks=(PinRef(1, "A"), PinRef(1, "B")))
+        )
+        assert netlist.num_nets == 1
+        assert netlist.nets[0].degree == 3
+
+
+class TestNetlistValidate:
+    def test_duplicate_cell_names(self, netlist):
+        netlist.add_cell(CellInstance("u0", netlist.library.master("INV_X1"), Point(1, 1)))
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_duplicate_net_names(self, netlist):
+        netlist.add_net(Net("n", PinRef(0, "Y"), (PinRef(1, "A"),)))
+        netlist.add_net(Net("n", PinRef(2, "Y"), (PinRef(1, "B"),)))
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_multiply_driven_output(self, netlist):
+        netlist.add_net(Net("n0", PinRef(0, "Y"), (PinRef(1, "A"),)))
+        netlist.add_net(Net("n1", PinRef(0, "Y"), (PinRef(1, "B"),)))
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_good_netlist_passes(self, netlist):
+        netlist.add_net(Net("n0", PinRef(0, "Y"), (PinRef(1, "A"),)))
+        netlist.add_net(Net("n1", PinRef(2, "Y"), (PinRef(1, "B"),)))
+        netlist.validate()
+
+    def test_all_pin_locations(self, netlist):
+        netlist.add_net(Net("n0", PinRef(0, "Y"), (PinRef(1, "A"),)))
+        located = list(netlist.all_pin_locations())
+        assert len(located) == 2
+        for ref, location in located:
+            assert netlist.pin_location(ref) == location

@@ -1,0 +1,103 @@
+"""Tests for the metal/via stack description."""
+
+import pytest
+
+from repro.layout.technology import (
+    Direction,
+    MetalLayer,
+    Technology,
+    make_default_technology,
+)
+
+
+class TestDirection:
+    def test_other(self):
+        assert Direction.HORIZONTAL.other is Direction.VERTICAL
+        assert Direction.VERTICAL.other is Direction.HORIZONTAL
+
+
+class TestMetalLayer:
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            MetalLayer(0, "M0", Direction.HORIZONTAL, 1.0, 0.5)
+
+    def test_bad_pitch(self):
+        with pytest.raises(ValueError):
+            MetalLayer(1, "M1", Direction.HORIZONTAL, -1.0, 0.5)
+
+
+class TestDefaultTechnology:
+    def test_counts(self):
+        tech = make_default_technology()
+        assert tech.num_metal_layers == 9
+        assert tech.num_via_layers == 8
+        assert tech.highest_via_layer == 8
+
+    def test_top_metal_is_horizontal(self):
+        """The property the Y configurations exploit (Section III-G)."""
+        tech = make_default_technology()
+        assert tech.top_metal.direction is Direction.HORIZONTAL
+
+    def test_directions_alternate(self):
+        tech = make_default_technology()
+        for lower, upper in zip(tech.metal_layers, tech.metal_layers[1:]):
+            assert lower.direction is not upper.direction
+
+    def test_width_variation_is_4x(self):
+        tech = make_default_technology()
+        ratio = tech.metal_layers[-1].pitch / tech.metal_layers[0].pitch
+        assert ratio == pytest.approx(4.0)
+
+    def test_pitches_monotone(self):
+        tech = make_default_technology()
+        pitches = [m.pitch for m in tech.metal_layers]
+        assert pitches == sorted(pitches)
+
+    def test_metal_lookup(self):
+        tech = make_default_technology()
+        assert tech.metal(1).name == "M1"
+        assert tech.metal(9).name == "M9"
+        with pytest.raises(ValueError):
+            tech.metal(10)
+        with pytest.raises(ValueError):
+            tech.metal(0)
+
+    def test_via_layer_validation(self):
+        tech = make_default_technology()
+        assert tech.is_valid_via_layer(1)
+        assert tech.is_valid_via_layer(8)
+        assert not tech.is_valid_via_layer(9)
+        with pytest.raises(ValueError):
+            tech.validate_via_layer(9)
+
+    def test_layers_around_via(self):
+        tech = make_default_technology()
+        hidden = tech.layers_above_via(6)
+        visible = tech.layers_at_or_below_via(6)
+        assert [m.index for m in hidden] == [7, 8, 9]
+        assert [m.index for m in visible] == [1, 2, 3, 4, 5, 6]
+        assert len(hidden) + len(visible) == tech.num_metal_layers
+
+    def test_custom_layer_count(self):
+        tech = make_default_technology(num_metal_layers=5)
+        assert tech.num_metal_layers == 5
+        assert tech.top_metal.direction is Direction.HORIZONTAL
+
+    def test_too_few_layers(self):
+        with pytest.raises(ValueError):
+            make_default_technology(num_metal_layers=1)
+
+
+class TestTechnologyValidation:
+    def test_non_contiguous_indices_rejected(self):
+        layers = (
+            MetalLayer(1, "M1", Direction.HORIZONTAL, 1.0, 0.5),
+            MetalLayer(3, "M3", Direction.VERTICAL, 1.0, 0.5),
+        )
+        with pytest.raises(ValueError):
+            Technology(name="bad", metal_layers=layers)
+
+    def test_single_layer_rejected(self):
+        layers = (MetalLayer(1, "M1", Direction.HORIZONTAL, 1.0, 0.5),)
+        with pytest.raises(ValueError):
+            Technology(name="bad", metal_layers=layers)

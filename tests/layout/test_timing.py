@@ -1,0 +1,84 @@
+"""Tests for the Elmore timing estimator."""
+
+import pytest
+
+from repro.layout.design import Route, RouteSegment, Via
+from repro.layout.geometry import Point
+from repro.layout.technology import make_default_technology
+from repro.layout.timing import (
+    RCModel,
+    design_delays,
+    elmore_delay,
+    route_rc,
+    wirelength_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RCModel(make_default_technology())
+
+
+class TestRCModel:
+    def test_upper_layers_less_resistive(self, model):
+        assert model.resistance_per_unit(9) < model.resistance_per_unit(1)
+
+    def test_upper_layers_more_capacitive(self, model):
+        assert model.capacitance_per_unit(9) > model.capacitance_per_unit(1)
+
+    def test_m1_anchors(self, model):
+        assert model.resistance_per_unit(1) == pytest.approx(model.unit_r)
+        assert model.capacitance_per_unit(1) == pytest.approx(model.unit_c)
+
+
+class TestRouteRC:
+    def test_empty_route(self, model):
+        r, c = route_rc(Route(net="n"), model)
+        assert r == 0 and c == 0
+
+    def test_vias_add_resistance(self, model):
+        plain = Route(net="n", segments=(RouteSegment(1, Point(0, 0), Point(10, 0)),))
+        with_via = Route(
+            net="n",
+            segments=plain.segments,
+            vias=(Via(1, Point(10, 0)),),
+        )
+        assert route_rc(with_via, model)[0] == pytest.approx(
+            route_rc(plain, model)[0] + model.via_r
+        )
+
+    def test_longer_wire_slower(self, model):
+        short = Route(net="n", segments=(RouteSegment(1, Point(0, 0), Point(10, 0)),))
+        long = Route(net="n", segments=(RouteSegment(1, Point(0, 0), Point(100, 0)),))
+        assert elmore_delay(long, model) > elmore_delay(short, model)
+
+    def test_upper_layer_long_wire_beats_m1(self, model):
+        """The reason routers promote long nets: the same span on M9 is
+        faster than on M1 despite the higher capacitance."""
+        on_m1 = Route(net="n", segments=(RouteSegment(1, Point(0, 0), Point(500, 0)),))
+        on_m9 = Route(net="n", segments=(RouteSegment(9, Point(0, 0), Point(500, 0)),))
+        # Compare wire-dominated delay (small driver resistance).
+        assert elmore_delay(on_m9, model, driver_resistance=0.1) < elmore_delay(
+            on_m1, model, driver_resistance=0.1
+        )
+
+
+class TestDesignLevel:
+    def test_design_delays_cover_all_nets(self, small_design):
+        delays = design_delays(small_design)
+        assert set(delays) == {n.name for n in small_design.netlist.nets}
+        assert all(d >= 0 for d in delays.values())
+
+    def test_budget_above_typical_net(self, small_design):
+        budget = wirelength_budget(small_design, percentile=99.0)
+        lengths = [r.wirelength for r in small_design.routes.values()]
+        import numpy as np
+
+        assert budget >= np.median(lengths)
+        exceeding = sum(1 for length in lengths if length > budget)
+        assert exceeding <= 0.02 * len(lengths) + 1
+
+    def test_budget_monotone_in_percentile(self, small_design):
+        assert wirelength_budget(small_design, 90.0) <= wirelength_budget(
+            small_design, 99.9
+        )

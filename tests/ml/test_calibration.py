@@ -1,0 +1,76 @@
+"""Tests for probability-calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import (
+    brier_score,
+    calibration_report,
+    reliability_curve,
+)
+
+
+class TestBrierScore:
+    def test_perfect_predictions(self):
+        labels = np.array([0.0, 1.0, 1.0])
+        assert brier_score(labels, labels) == 0.0
+
+    def test_worst_predictions(self):
+        labels = np.array([0.0, 1.0])
+        assert brier_score(1 - labels, labels) == 1.0
+
+    def test_uninformative_half(self):
+        labels = np.array([0.0, 1.0] * 10)
+        assert brier_score(np.full(20, 0.5), labels) == pytest.approx(0.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            brier_score(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        assert brier_score(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestReliabilityCurve:
+    def test_calibrated_data_low_ece(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0, 1, 20000)
+        y = (rng.uniform(0, 1, 20000) < p).astype(float)
+        curve = reliability_curve(p, y, bins=10)
+        assert curve.expected_calibration_error < 0.03
+
+    def test_overconfident_data_high_ece(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(2, size=5000).astype(float)
+        p = np.where(y == 1, 0.99, 0.01)
+        # Flip 30% of labels: predictions stay extreme, reality is not.
+        flip = rng.random(5000) < 0.3
+        y[flip] = 1 - y[flip]
+        curve = reliability_curve(p, y, bins=10)
+        assert curve.expected_calibration_error > 0.2
+
+    def test_counts_sum(self):
+        p = np.linspace(0, 1, 101)
+        y = np.zeros(101)
+        curve = reliability_curve(p, y, bins=10)
+        assert sum(curve.counts) == 101
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.zeros(3), np.zeros(3), bins=0)
+
+
+class TestReport:
+    def test_report_on_real_classifier(self, views8):
+        """The soft-voting ensemble is reasonably calibrated on its own
+        training distribution."""
+        from repro.ml.bagging import Bagging
+        from repro.splitmfg.pair_features import FEATURES_9
+        from repro.splitmfg.sampling import build_training_set
+
+        rng = np.random.default_rng(0)
+        ts = build_training_set(views8, FEATURES_9, rng)
+        model = Bagging(n_estimators=10, seed=1).fit(ts.X, ts.y)
+        text = calibration_report(model.predict_proba(ts.X), ts.y)
+        assert "Brier score" in text
+        assert "ECE" in text

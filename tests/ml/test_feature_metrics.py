@@ -1,0 +1,113 @@
+"""Tests for information gain, correlation, and Fisher's ratio."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_metrics import (
+    abs_correlation,
+    equal_frequency_bins,
+    fisher_ratio,
+    information_gain,
+    rank_features,
+)
+
+
+class TestEqualFrequencyBins:
+    def test_bin_count(self):
+        x = np.arange(100.0)
+        binned = equal_frequency_bins(x, bins=4)
+        assert set(binned) == {0, 1, 2, 3}
+        counts = np.bincount(binned)
+        assert counts.max() - counts.min() <= 2
+
+    def test_constant_feature_single_bin(self):
+        binned = equal_frequency_bins(np.ones(50), bins=10)
+        assert set(binned) == {0} or len(set(binned)) == 1
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            equal_frequency_bins(np.ones(5), bins=0)
+
+
+class TestInformationGain:
+    def test_perfect_predictor(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        gain = information_gain(x, y)
+        assert gain == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_independent_feature_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2000)
+        y = rng.integers(2, size=2000)
+        assert information_gain(x, y) < 0.02
+
+    def test_monotone_in_signal(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(2, size=2000).astype(float)
+        weak = y + rng.normal(scale=3.0, size=2000)
+        strong = y + rng.normal(scale=0.3, size=2000)
+        assert information_gain(strong, y) > information_gain(weak, y)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            information_gain(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        assert information_gain(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestAbsCorrelation:
+    def test_perfect_positive_and_negative(self):
+        y = np.array([0.0, 1.0] * 20)
+        assert abs_correlation(y, y) == pytest.approx(1.0)
+        assert abs_correlation(-y, y) == pytest.approx(1.0)
+
+    def test_constant_feature_zero(self):
+        y = np.array([0.0, 1.0] * 20)
+        assert abs_correlation(np.ones(40), y) == 0.0
+
+    def test_known_value(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        expected = abs(np.corrcoef(x, y)[0, 1])
+        assert abs_correlation(x, y) == pytest.approx(expected)
+
+
+class TestFisherRatio:
+    def test_separated_classes_large(self):
+        x = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        # Zero within-class variance -> ratio guarded to 0 by epsilon.
+        x = x + np.tile([0.0, 0.1], 50)
+        assert fisher_ratio(x, y) > 100
+
+    def test_identical_classes_zero(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=200)
+        y = np.concatenate([np.zeros(100), np.ones(100)])
+        rng.shuffle(y)
+        assert fisher_ratio(x, y) < 0.1
+
+    def test_single_class_zero(self):
+        assert fisher_ratio(np.arange(10.0), np.ones(10)) == 0.0
+
+    def test_known_value(self):
+        x = np.array([0.0, 2.0, 10.0, 12.0])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        expected = (11.0 - 1.0) ** 2 / (1.0 + 1.0)
+        assert fisher_ratio(x, y) == pytest.approx(expected)
+
+
+class TestRankFeatures:
+    def test_informative_feature_ranks_first(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(2, size=1000).astype(float)
+        X = np.column_stack([rng.normal(size=1000), y + rng.normal(0, 0.2, 1000)])
+        metrics = rank_features(X, y, ("noise", "signal"))
+        for key in ("info_gain", "correlation", "fisher"):
+            assert metrics["signal"][key] > metrics["noise"][key]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_features(np.zeros((5, 2)), np.zeros(5), ("a",))

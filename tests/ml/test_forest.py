@@ -1,0 +1,37 @@
+"""Tests for RandomForest (100 bagged RandomTrees)."""
+
+import numpy as np
+
+from repro.ml.forest import RandomForest
+from repro.ml.tree import RandomTree
+
+
+def _data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = ((X[:, 0] > 0) & (X[:, 2] < 0.5)).astype(float)
+    return X, y
+
+
+class TestRandomForest:
+    def test_bases_are_random_trees(self):
+        X, y = _data()
+        forest = RandomForest(n_estimators=5, seed=1).fit(X, y)
+        assert all(isinstance(e, RandomTree) for e in forest.estimators_)
+
+    def test_quality_on_nonlinear_data(self):
+        X, y = _data(seed=1)
+        Xte, yte = _data(seed=2)
+        forest = RandomForest(n_estimators=30, seed=2).fit(X, y)
+        assert (forest.predict(Xte) == yte).mean() > 0.85
+
+    def test_default_estimator_count_is_weka_default(self):
+        assert RandomForest().n_estimators == 100
+
+    def test_more_trees_smoother_probabilities(self):
+        X, y = _data()
+        few = RandomForest(n_estimators=2, seed=3).fit(X, y)
+        many = RandomForest(n_estimators=40, seed=3).fit(X, y)
+        assert len(np.unique(many.predict_proba(X))) >= len(
+            np.unique(few.predict_proba(X))
+        )

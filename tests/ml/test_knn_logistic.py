@@ -1,0 +1,98 @@
+"""Tests for the alternative classifiers (kNN, logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegression
+
+
+def _linear_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] - 0.7 * X[:, 2] > 0).astype(float)
+    return X, y
+
+
+def _xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    return X, y
+
+
+class TestKNN:
+    def test_learns_linear_data(self):
+        X, y = _linear_data()
+        Xte, yte = _linear_data(seed=7)
+        model = KNNClassifier(k=5).fit(X, y)
+        assert (model.predict(Xte) == yte).mean() > 0.85
+
+    def test_learns_xor(self):
+        """kNN handles non-linearly-separable data (unlike logistic)."""
+        X, y = _xor_data()
+        Xte, yte = _xor_data(seed=7)
+        model = KNNClassifier(k=7).fit(X, y)
+        assert (model.predict(Xte) == yte).mean() > 0.8
+
+    def test_probability_lattice(self):
+        X, y = _linear_data(n=100)
+        model = KNNClassifier(k=5).fit(X, y)
+        p = model.predict_proba(X)
+        assert np.allclose(p * 5, np.round(p * 5))
+
+    def test_k1_memorizes(self):
+        X, y = _linear_data(n=100)
+        model = KNNClassifier(k=1).fit(X, y)
+        assert (model.predict(X) == y).all()
+
+    def test_scale_invariance_via_standardization(self):
+        X, y = _linear_data()
+        scaled = X * np.array([1000.0, 1.0, 0.001, 1.0])
+        p1 = KNNClassifier(k=5).fit(X, y).predict_proba(X)
+        p2 = KNNClassifier(k=5).fit(scaled, y).predict_proba(scaled)
+        assert np.allclose(p1, p2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict_proba(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestLogistic:
+    def test_learns_linear_data(self):
+        X, y = _linear_data()
+        Xte, yte = _linear_data(seed=7)
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(Xte) == yte).mean() > 0.9
+
+    def test_fails_on_xor(self):
+        """The linear boundary cannot express XOR -- why the paper uses
+        trees rather than [5]-style linear models."""
+        X, y = _xor_data()
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(X) == y).mean() < 0.7
+
+    def test_probabilities_bounded(self):
+        X, y = _linear_data()
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X * 1e3)
+        assert (p >= 0).all() and (p <= 1).all()
+        assert np.isfinite(p).all()
+
+    def test_coef_sign_matches_signal(self):
+        X, y = _linear_data()
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[2] < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(iterations=0)
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2, 1)), np.zeros(3))

@@ -1,0 +1,37 @@
+"""Tests for OLS linear regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = 2.0 * X[:, 0] - 1.5 * X[:, 1] + 0.5 * X[:, 2] + 4.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [2.0, -1.5, 0.5])
+        assert model.intercept_ == pytest.approx(4.0)
+        assert np.allclose(model.predict(X), y)
+
+    def test_least_squares_on_noisy_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 1))
+        y = 3.0 * X[:, 0] + rng.normal(scale=0.1, size=500)
+        model = LinearRegression().fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=0.05)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 1)))
+
+    def test_validation(self):
+        model = LinearRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,138 @@
+"""Tests for the decision-tree base classifiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.tree import DEFAULT_MAX_DEPTH, REPTree, RandomTree
+
+
+def _separable(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * X[:, 2] > 0).astype(float)
+    return X, y
+
+
+class TestREPTree:
+    def test_learns_separable_data(self):
+        X, y = _separable()
+        tree = REPTree(seed=1).fit(X, y)
+        accuracy = (tree.predict(X) == y).mean()
+        assert accuracy > 0.9
+
+    def test_generalizes(self):
+        X, y = _separable(seed=0)
+        Xte, yte = _separable(seed=99)
+        tree = REPTree(seed=1).fit(X, y)
+        assert (tree.predict(Xte) == yte).mean() > 0.85
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = _separable()
+        tree = REPTree(seed=1).fit(X, y)
+        p = tree.predict_proba(X)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_pruning_shrinks_tree(self):
+        """REPTree must be smaller than the unpruned RandomTree on noisy
+        data (the paper's stated reason for the swap)."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(600, 6))
+        y = ((X[:, 0] > 0) ^ (rng.random(600) < 0.25)).astype(float)
+        pruned = REPTree(seed=3).fit(X, y)
+        unpruned = RandomTree(seed=3, min_samples_leaf=1).fit(X, y)
+        assert pruned.n_nodes < unpruned.n_nodes
+
+    def test_max_depth_respected(self):
+        X, y = _separable()
+        tree = REPTree(max_depth=3, seed=1).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_default_depth_cap(self):
+        X, y = _separable()
+        tree = REPTree(seed=1).fit(X, y)
+        assert tree.depth <= DEFAULT_MAX_DEPTH
+
+    def test_pure_class_is_single_leaf(self):
+        X = np.ones((20, 2))
+        y = np.ones(20)
+        tree = REPTree(seed=0).fit(X, y)
+        assert tree.n_nodes == 1
+        assert (tree.predict_proba(X) == 1.0).all()
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable()
+        p1 = REPTree(seed=5).fit(X, y).predict_proba(X)
+        p2 = REPTree(seed=5).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_bad_num_folds(self):
+        with pytest.raises(ValueError):
+            REPTree(num_folds=1)
+
+    def test_input_validation(self):
+        tree = REPTree(seed=0)
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_feature_count_checked_at_predict(self):
+        X, y = _separable()
+        tree = REPTree(seed=1).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict_proba(np.zeros((3, 7)))
+
+    def test_tiny_training_set(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        tree = REPTree(seed=0).fit(X, y)
+        assert tree.predict_proba(X).shape == (2,)
+
+
+class TestRandomTree:
+    def test_learns_separable_data(self):
+        X, y = _separable()
+        tree = RandomTree(seed=1, min_samples_leaf=1).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_random_subsets_differ_across_seeds(self):
+        X, y = _separable(n=300, seed=4)
+        p1 = RandomTree(seed=1).fit(X, y).predict_proba(X)
+        p2 = RandomTree(seed=2).fit(X, y).predict_proba(X)
+        assert not np.array_equal(p1, p2)
+
+    def test_threshold_semantics(self):
+        """x <= t goes left: check with a one-feature step function."""
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 10)
+        y = np.array([0.0, 0.0, 1.0, 1.0] * 10)
+        tree = RandomTree(seed=0, min_samples_leaf=1).fit(X, y)
+        assert (tree.predict(np.array([[1.4], [1.6]])) == [0, 1]).all()
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, (30, 3), elements=st.floats(-100, 100)),
+        arrays(np.float64, (30,), elements=st.sampled_from([0.0, 1.0])),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_bounded(self, X, y):
+        tree = REPTree(seed=0).fit(X, y)
+        p = tree.predict_proba(X)
+        assert (p >= 0).all() and (p <= 1).all()
+        assert np.isfinite(p).all()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_training_prediction_consistency(self, seed):
+        """On duplicate-free, perfectly separable 1-D data the unpruned
+        tree reproduces the labels exactly."""
+        rng = np.random.default_rng(seed)
+        x = rng.permutation(np.arange(40.0))[:, None]
+        y = (x[:, 0] >= 20).astype(float)
+        tree = RandomTree(seed=seed, min_samples_leaf=1).fit(x, y)
+        assert (tree.predict(x) == y).all()

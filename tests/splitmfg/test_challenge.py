@@ -1,0 +1,75 @@
+"""Tests for challenge-instance packaging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.splitmfg.challenge import (
+    challenge_from_dicts,
+    challenge_to_dict,
+    load_challenge,
+    oracle_to_dict,
+    save_challenge,
+)
+
+
+class TestRoundTrip:
+    def test_with_oracle_preserves_attack_surface(self, view8):
+        public = challenge_to_dict(view8)
+        oracle = oracle_to_dict(view8)
+        rebuilt = challenge_from_dicts(public, oracle)
+        assert len(rebuilt) == len(view8)
+        assert rebuilt.aligned_axis == view8.aligned_axis
+        for old, new in zip(view8.vpins, rebuilt.vpins):
+            assert new.location == old.location
+            assert new.matches == old.matches
+            assert new.pc == old.pc
+        for key in ("vx", "vy", "px", "py", "w", "in_area", "out_area"):
+            assert np.allclose(rebuilt.arrays()[key], view8.arrays()[key])
+
+    def test_public_document_hides_net_names(self, view8):
+        public = challenge_to_dict(view8)
+        text = json.dumps(public)
+        for vpin in view8.vpins[:10]:
+            assert vpin.net not in text
+        rebuilt = challenge_from_dicts(public)
+        assert all(v.net == "" for v in rebuilt.vpins)
+
+    def test_without_oracle_no_ground_truth(self, view8):
+        rebuilt = challenge_from_dicts(challenge_to_dict(view8))
+        assert all(not v.matches for v in rebuilt.vpins)
+
+    def test_attack_runs_on_loaded_challenge(self, views8, tmp_path):
+        """The full release workflow: train elsewhere, attack the files."""
+        from repro.attack.config import IMP_9
+        from repro.attack.framework import evaluate_attack, train_attack
+
+        target = views8[0]
+        save_challenge(
+            target, tmp_path / "public.json", tmp_path / "oracle.json"
+        )
+        loaded = load_challenge(
+            tmp_path / "public.json", tmp_path / "oracle.json"
+        )
+        trained = train_attack(IMP_9, views8[1:], seed=0)
+        original = evaluate_attack(trained, target)
+        replayed = evaluate_attack(trained, loaded)
+        assert original.accuracy_at_threshold(0.5) == pytest.approx(
+            replayed.accuracy_at_threshold(0.5)
+        )
+
+    def test_version_checks(self, view8):
+        public = challenge_to_dict(view8)
+        bad = dict(public, format_version=42)
+        with pytest.raises(ValueError):
+            challenge_from_dicts(bad)
+        oracle = dict(oracle_to_dict(view8), format_version=42)
+        with pytest.raises(ValueError):
+            challenge_from_dicts(public, oracle)
+
+    def test_oracle_mismatch_rejected(self, views8):
+        public = challenge_to_dict(views8[0])
+        wrong_oracle = oracle_to_dict(views8[1])
+        with pytest.raises(ValueError):
+            challenge_from_dicts(public, wrong_oracle)

@@ -1,0 +1,166 @@
+"""Tests for the 11 pair features (Section III-B definitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.geometry import Point
+from repro.splitmfg.pair_features import (
+    FEATURE_SETS,
+    FEATURES_7,
+    FEATURES_9,
+    FEATURES_11,
+    compute_pair_features,
+    legal_pair_mask,
+    manhattan_vpin,
+)
+from repro.splitmfg.split import SplitView, VPin
+
+
+def _vpin(vid, vx, vy, px, py, w, in_area, out_area, pc=0.0, rc=0.0):
+    return VPin(
+        id=vid,
+        net=f"n{vid}",
+        location=Point(vx, vy),
+        fragment_wirelength=w,
+        pins=(),
+        pin_location=Point(px, py),
+        in_area=in_area,
+        out_area=out_area,
+        pc=pc,
+        rc=rc,
+    )
+
+
+@pytest.fixture()
+def view():
+    vpins = [
+        _vpin(0, 10, 20, 12, 22, 5.0, 0.0, 64.0, pc=1.0, rc=0.5),
+        _vpin(1, 40, 60, 38, 58, 7.0, 32.0, 0.0, pc=2.0, rc=1.5),
+        _vpin(2, 15, 25, 15, 25, 1.0, 0.0, 16.0, pc=0.5, rc=0.25),
+    ]
+    return SplitView(
+        design_name="t",
+        split_layer=8,
+        die_width=100,
+        die_height=100,
+        vpins=vpins,
+    )
+
+
+class TestFeatureSets:
+    def test_set_sizes(self):
+        assert len(FEATURES_7) == 7
+        assert len(FEATURES_9) == 9
+        assert len(FEATURES_11) == 11
+        assert FEATURE_SETS == {7: FEATURES_7, 9: FEATURES_9, 11: FEATURES_11}
+
+    def test_subset_relationships(self):
+        assert set(FEATURES_7) < set(FEATURES_9) < set(FEATURES_11)
+
+    def test_imp7_drops_wirelength_and_total_area(self):
+        dropped = set(FEATURES_9) - set(FEATURES_7)
+        assert dropped == {"TotalWirelength", "TotalArea"}
+
+    def test_congestion_only_in_11(self):
+        extra = set(FEATURES_11) - set(FEATURES_9)
+        assert extra == {"PlacementCongestion", "RoutingCongestion"}
+
+
+class TestFormulas:
+    def test_exact_values(self, view):
+        i = np.array([0])
+        j = np.array([1])
+        X = compute_pair_features(view, i, j, FEATURES_11)[0]
+        values = dict(zip(FEATURES_11, X))
+        assert values["DiffPinX"] == 26  # |12 - 38|
+        assert values["DiffPinY"] == 36  # |22 - 58|
+        assert values["ManhattanPin"] == 62
+        assert values["DiffVpinX"] == 30
+        assert values["DiffVpinY"] == 40
+        assert values["ManhattanVpin"] == 70
+        assert values["TotalWirelength"] == 12.0
+        assert values["TotalArea"] == 96.0  # 0+32+64+0
+        assert values["DiffArea"] == 32.0  # (64+0) - (0+32)
+        assert values["PlacementCongestion"] == 3.0
+        assert values["RoutingCongestion"] == 2.0
+
+    def test_feature_subsets_consistent(self, view):
+        i = np.array([0, 0, 1])
+        j = np.array([1, 2, 2])
+        full = compute_pair_features(view, i, j, FEATURES_11)
+        for names in (FEATURES_7, FEATURES_9):
+            sub = compute_pair_features(view, i, j, names)
+            for col, name in enumerate(names):
+                ref = full[:, FEATURES_11.index(name)]
+                assert np.allclose(sub[:, col], ref)
+
+    def test_symmetry_under_swap(self, view):
+        i = np.array([0, 1, 2])
+        j = np.array([1, 2, 0])
+        forward = compute_pair_features(view, i, j, FEATURES_11)
+        backward = compute_pair_features(view, j, i, FEATURES_11)
+        assert np.allclose(forward, backward)
+
+    def test_manhattan_vpin_helper(self, view):
+        d = manhattan_vpin(view, np.array([0]), np.array([1]))
+        assert d[0] == 70
+
+
+class TestLegality:
+    def test_driver_driver_is_illegal(self, view):
+        i = np.array([0, 0, 1])
+        j = np.array([2, 1, 2])
+        legal = legal_pair_mask(view, i, j)
+        # 0 and 2 are both driver-side (out_area > 0) -> illegal.
+        assert list(legal) == [False, True, True]
+
+
+@st.composite
+def random_views(draw):
+    n = draw(st.integers(2, 8))
+    vpins = []
+    for vid in range(n):
+        vpins.append(
+            _vpin(
+                vid,
+                draw(st.floats(0, 100)),
+                draw(st.floats(0, 100)),
+                draw(st.floats(0, 100)),
+                draw(st.floats(0, 100)),
+                draw(st.floats(0, 50)),
+                draw(st.floats(0, 100)),
+                draw(st.sampled_from([0.0, 16.0])),
+            )
+        )
+    return SplitView(
+        design_name="h", split_layer=4, die_width=100, die_height=100, vpins=vpins
+    )
+
+
+class TestProperties:
+    @given(random_views())
+    @settings(max_examples=30, deadline=None)
+    def test_all_features_finite_and_distances_nonnegative(self, view):
+        n = len(view)
+        i, j = np.triu_indices(n, k=1)
+        X = compute_pair_features(view, i, j, FEATURES_11)
+        assert np.isfinite(X).all()
+        for name in ("DiffPinX", "DiffPinY", "ManhattanPin", "DiffVpinX",
+                     "DiffVpinY", "ManhattanVpin", "TotalWirelength",
+                     "TotalArea", "PlacementCongestion", "RoutingCongestion"):
+            col = FEATURES_11.index(name)
+            assert (X[:, col] >= 0).all()
+
+    @given(random_views())
+    @settings(max_examples=30, deadline=None)
+    def test_manhattan_consistency(self, view):
+        """ManhattanVpin == DiffVpinX + DiffVpinY always."""
+        n = len(view)
+        i, j = np.triu_indices(n, k=1)
+        X = compute_pair_features(view, i, j, FEATURES_11)
+        dx = X[:, FEATURES_11.index("DiffVpinX")]
+        dy = X[:, FEATURES_11.index("DiffVpinY")]
+        mv = X[:, FEATURES_11.index("ManhattanVpin")]
+        assert np.allclose(mv, dx + dy)

@@ -1,0 +1,165 @@
+"""Tests for sample generation and neighborhood machinery."""
+
+import numpy as np
+import pytest
+
+from repro.splitmfg.pair_features import FEATURES_9, FEATURES_11
+from repro.splitmfg.sampling import (
+    NeighborhoodIndex,
+    build_training_set,
+    iter_all_pairs,
+    neighborhood_fraction,
+    neighborhood_negative_pairs,
+    neighborhood_radius,
+    positive_pairs,
+    random_negative_pairs,
+)
+
+
+class TestPositivePairs:
+    def test_match_and_legal(self, view8):
+        i, j = positive_pairs(view8)
+        assert len(i) > 0
+        arr = view8.arrays()
+        for a, b in zip(i, j):
+            assert a < b
+            assert b in view8.vpins[a].matches
+            assert not (arr["out_area"][a] > 0 and arr["out_area"][b] > 0)
+
+
+class TestRandomNegativePairs:
+    def test_non_matching_and_legal(self, view8):
+        rng = np.random.default_rng(0)
+        i, j = random_negative_pairs(view8, 50, rng)
+        assert len(i) == 50
+        arr = view8.arrays()
+        for a, b in zip(i, j):
+            assert a != b
+            assert b not in view8.vpins[a].matches
+            assert not (arr["out_area"][a] > 0 and arr["out_area"][b] > 0)
+
+    def test_respects_allowed_mask(self, view8):
+        rng = np.random.default_rng(1)
+        allowed = np.zeros(len(view8), dtype=bool)
+        allowed[: len(view8) // 2] = True
+        i, j = random_negative_pairs(view8, 30, rng, allowed=allowed)
+        assert allowed[i].all() and allowed[j].all()
+
+    def test_aligned_negatives(self, view8):
+        rng = np.random.default_rng(2)
+        i, j = random_negative_pairs(view8, 20, rng, y_aligned_only=True)
+        if len(i):
+            arr = view8.arrays()
+            assert (np.abs(arr["vy"][i] - arr["vy"][j]) <= 1e-6).all()
+
+    def test_empty_view(self, view8):
+        rng = np.random.default_rng(0)
+        i, j = random_negative_pairs(view8, 0, rng)
+        assert len(i) == len(j) == 0
+
+
+class TestNeighborhood:
+    def test_fraction_is_percentile(self, views8):
+        f90 = neighborhood_fraction(views8, 90.0)
+        f50 = neighborhood_fraction(views8, 50.0)
+        assert 0 < f50 < f90
+        pooled = np.concatenate(
+            [v.match_distances() / v.half_perimeter for v in views8]
+        )
+        assert f90 == pytest.approx(np.percentile(pooled, 90.0))
+
+    def test_radius_rescales(self, view8):
+        assert neighborhood_radius(view8, 0.1) == pytest.approx(
+            0.1 * view8.half_perimeter
+        )
+
+    def test_index_neighbors_within_radius(self, view8):
+        radius = 0.2 * view8.half_perimeter
+        index = NeighborhoodIndex(view8, radius)
+        arr = view8.arrays()
+        for i in range(0, len(view8), 7):
+            neighbors = index.neighbors_of(i)
+            assert i not in neighbors
+            d = np.abs(arr["vx"][neighbors] - arr["vx"][i]) + np.abs(
+                arr["vy"][neighbors] - arr["vy"][i]
+            )
+            assert (d <= radius + 1e-9).all()
+
+    def test_candidate_pairs_legal_and_bounded(self, view8):
+        radius = 0.15 * view8.half_perimeter
+        index = NeighborhoodIndex(view8, radius)
+        i, j = index.candidate_pairs()
+        arr = view8.arrays()
+        d = np.abs(arr["vx"][i] - arr["vx"][j]) + np.abs(
+            arr["vy"][i] - arr["vy"][j]
+        )
+        assert (d <= radius + 1e-9).all()
+        assert not ((arr["out_area"][i] > 0) & (arr["out_area"][j] > 0)).any()
+
+    def test_neighborhood_negatives_inside_radius(self, view8):
+        rng = np.random.default_rng(3)
+        radius = 0.3 * view8.half_perimeter
+        index = NeighborhoodIndex(view8, radius)
+        i, j = neighborhood_negative_pairs(view8, 40, index, rng)
+        arr = view8.arrays()
+        d = np.abs(arr["vx"][i] - arr["vx"][j]) + np.abs(
+            arr["vy"][i] - arr["vy"][j]
+        )
+        assert (d <= radius + 1e-9).all()
+        for a, b in zip(i, j):
+            assert b not in view8.vpins[a].matches
+
+
+class TestIterAllPairs:
+    def test_covers_all_pairs_once(self):
+        seen = set()
+        for i, j in iter_all_pairs(17, chunk_size=20):
+            for a, b in zip(i, j):
+                assert a < b
+                seen.add((int(a), int(b)))
+        assert len(seen) == 17 * 16 // 2
+
+    def test_small_n(self):
+        assert list(iter_all_pairs(1)) == []
+        chunks = list(iter_all_pairs(2))
+        assert len(chunks) == 1
+
+
+class TestBuildTrainingSet:
+    def test_balanced(self, views8):
+        rng = np.random.default_rng(4)
+        ts = build_training_set(views8, FEATURES_9, rng)
+        assert ts.X.shape[1] == 9
+        assert ts.n_positive == pytest.approx(ts.n_samples / 2, abs=2)
+
+    def test_neighborhood_variant(self, views8):
+        rng = np.random.default_rng(5)
+        fraction = neighborhood_fraction(views8, 90.0)
+        ts = build_training_set(views8, FEATURES_11, rng, neighborhood=fraction)
+        assert ts.X.shape[1] == 11
+        assert ts.n_samples > 0
+
+    def test_aligned_variant(self, views8):
+        rng = np.random.default_rng(6)
+        ts = build_training_set(views8, FEATURES_9, rng, y_aligned_only=True)
+        # All positives are aligned at layer 8, so they all survive.
+        total_positives = sum(len(positive_pairs(v)[0]) for v in views8)
+        assert ts.n_positive == total_positives
+
+    def test_allowed_masks(self, views8):
+        rng = np.random.default_rng(7)
+        masks = [np.zeros(len(v), dtype=bool) for v in views8]
+        for mask in masks:
+            mask[: len(mask) // 2] = True
+        ts = build_training_set(views8, FEATURES_9, rng, allowed=masks)
+        full = build_training_set(views8, FEATURES_9, np.random.default_rng(7))
+        assert ts.n_samples < full.n_samples
+
+    def test_mask_length_mismatch(self, views8):
+        with pytest.raises(ValueError):
+            build_training_set(
+                views8,
+                FEATURES_9,
+                np.random.default_rng(0),
+                allowed=[np.ones(1, dtype=bool)],
+            )

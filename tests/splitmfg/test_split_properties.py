@@ -1,0 +1,86 @@
+"""Property-based split invariants over randomized tiny designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.splitmfg.split import split_design
+from repro.synth.benchmarks import BENCHMARK_SPECS, build_benchmark
+from repro.synth.netlist_gen import NetlistConfig
+from repro.synth.router import RouterConfig
+
+
+def _tiny_design(seed: int):
+    from dataclasses import replace
+
+    spec = BENCHMARK_SPECS[seed % len(BENCHMARK_SPECS)]
+    spec = replace(
+        spec,
+        seed=seed,
+        netlist=replace(spec.netlist, seed=seed + 1),
+        router=replace(spec.router, seed=seed + 2),
+    )
+    return build_benchmark(spec, scale=0.06)
+
+
+@given(st.integers(0, 30), st.sampled_from([4, 6, 8]))
+@settings(max_examples=12, deadline=None)
+def test_split_invariants(seed, layer):
+    """For random designs and layers:
+
+    * every v-pin location is a via of its net on the split layer;
+    * matching is symmetric, irreflexive, intra-net;
+    * matched v-pins rise from different FEOL fragments, hence never
+      form an illegal driver-driver pair;
+    * every v-pin has at least one match (unbroken loops are dropped).
+    """
+    design = _tiny_design(seed)
+    view = split_design(design, layer)
+    via_keys = {
+        (route.net, round(v.at.x, 6), round(v.at.y, 6))
+        for route in design.routes.values()
+        for v in route.vias
+        if v.layer == layer
+    }
+    for vpin in view.vpins:
+        key = (vpin.net, round(vpin.location.x, 6), round(vpin.location.y, 6))
+        assert key in via_keys
+        assert vpin.matches
+        assert vpin.id not in vpin.matches
+        for m in vpin.matches:
+            partner = view.vpins[m]
+            assert partner.net == vpin.net
+            assert vpin.id in partner.matches
+            assert not (vpin.out_area > 0 and partner.out_area > 0)
+
+
+@given(st.integers(0, 30))
+@settings(max_examples=8, deadline=None)
+def test_vpin_counts_monotone_in_layer(seed):
+    """Lower splits never cut fewer nets than higher splits."""
+    design = _tiny_design(seed)
+    counts = [len(split_design(design, layer)) for layer in (4, 6, 8)]
+    assert counts[0] >= counts[1] >= counts[2]
+
+
+@given(st.integers(0, 30))
+@settings(max_examples=8, deadline=None)
+def test_top_split_matches_aligned(seed):
+    """At the highest via layer every match pair shares a y-coordinate
+    (horizontal top metal) -- the Section III-G property, for any seed."""
+    design = _tiny_design(seed)
+    view = split_design(design, 8)
+    arr = view.arrays()
+    for vpin in view.vpins:
+        for m in vpin.matches:
+            assert abs(arr["vy"][vpin.id] - arr["vy"][m]) <= 1e-6
+
+
+def test_fragment_wirelengths_bounded_by_design():
+    design = _tiny_design(3)
+    total = design.total_wirelength
+    for layer in (4, 6, 8):
+        view = split_design(design, layer)
+        for vpin in view.vpins:
+            assert 0 <= vpin.fragment_wirelength <= total

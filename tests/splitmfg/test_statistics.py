@@ -1,0 +1,41 @@
+"""Tests for split-view statistics."""
+
+import pytest
+
+from repro.splitmfg.statistics import compute_statistics, describe
+
+
+class TestComputeStatistics:
+    def test_counts_consistent(self, view8):
+        stats = compute_statistics(view8)
+        assert stats.n_vpins == len(view8)
+        assert stats.n_matched_pairs == view8.num_matched_pairs
+        assert 0 < stats.n_driver_side < stats.n_vpins
+        assert 0 < stats.driver_fraction < 1
+
+    def test_distance_percentiles_ordered(self, view8):
+        stats = compute_statistics(view8)
+        assert 0 < stats.match_distance_p50 <= stats.match_distance_p90
+
+    def test_top_layer_fully_aligned(self, view8):
+        stats = compute_statistics(view8)
+        assert stats.aligned_match_fraction == pytest.approx(1.0)
+        assert 0 < stats.distinct_tracks <= stats.n_vpins
+
+    def test_lower_layer_partially_aligned(self, views6):
+        stats = compute_statistics(views6[0])
+        assert stats.aligned_match_fraction < 1.0
+
+    def test_multi_pin_fragments_exist(self, views6):
+        stats = compute_statistics(views6[0])
+        assert stats.n_multi_pin_fragments > 0
+
+
+class TestDescribe:
+    def test_mentions_everything(self, view8):
+        text = describe(view8)
+        assert view8.design_name in text
+        assert f"V{view8.split_layer}" in text
+        assert "matched pairs" in text
+        assert "p90" in text
+        assert "aligned match fraction" in text

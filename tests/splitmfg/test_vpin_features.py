@@ -1,0 +1,67 @@
+"""Tests for the per-v-pin congestion features."""
+
+import numpy as np
+import pytest
+
+from repro.splitmfg.split import split_design
+from repro.splitmfg.vpin_features import (
+    attach_congestion,
+    make_split_view,
+    placement_congestion,
+    routing_congestion,
+)
+
+
+class TestRoutingCongestion:
+    def test_density_positive_in_clusters(self, small_design):
+        view = make_split_view(small_design, 6)
+        rc = np.array([v.rc for v in view.vpins])
+        assert (rc >= 0).all()
+        assert rc.max() > 0
+
+    def test_isolated_vpin_has_zero_rc(self, small_design):
+        view = split_design(small_design, 8)
+        rc = routing_congestion(view, radius_fraction=1e-9)
+        # With a vanishing radius nobody has neighbors.
+        assert (rc == 0).all()
+
+    def test_larger_radius_monotone(self, small_design):
+        view = split_design(small_design, 8)
+        small_radius = routing_congestion(view, radius_fraction=0.01)
+        # Counts (density * area) must be monotone in the radius.
+        big_radius = routing_congestion(view, radius_fraction=0.05)
+        r1 = 0.01 * view.half_perimeter
+        r2 = 0.05 * view.half_perimeter
+        counts_small = small_radius * (2 * r1) ** 2
+        counts_big = big_radius * (2 * r2) ** 2
+        assert (counts_big >= counts_small - 1e-9).all()
+
+
+class TestPlacementCongestion:
+    def test_positive(self, small_design):
+        view = split_design(small_design, 8)
+        pc = placement_congestion(view, small_design)
+        assert (pc >= 0).all()
+        assert pc.max() > 0
+
+
+class TestAttachCongestion:
+    def test_fills_and_caches(self, small_design):
+        view = split_design(small_design, 8)
+        assert all(v.pc == 0 and v.rc == 0 for v in view.vpins)
+        attach_congestion(view, small_design)
+        arr = view.arrays()
+        assert arr["pc"].max() > 0
+        assert (arr["pc"] == np.array([v.pc for v in view.vpins])).all()
+
+    def test_make_split_view_is_complete(self, small_design):
+        view = make_split_view(small_design, 6)
+        arr = view.arrays()
+        for key in ("vx", "vy", "px", "py", "w", "in_area", "out_area", "pc", "rc"):
+            assert len(arr[key]) == len(view)
+
+    def test_empty_view_ok(self, small_design):
+        view = split_design(small_design, 8)
+        view.vpins.clear()
+        view.invalidate_cache()
+        attach_congestion(view, small_design)  # must not raise

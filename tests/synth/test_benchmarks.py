@@ -1,0 +1,71 @@
+"""Tests for the superblue-like benchmark suite."""
+
+import pytest
+
+from repro.synth.benchmarks import (
+    BENCHMARK_SPECS,
+    build_benchmark,
+    build_suite,
+    scaled_spec,
+    spec_by_name,
+)
+
+
+class TestSpecs:
+    def test_five_specs(self):
+        assert len(BENCHMARK_SPECS) == 5
+        assert [s.name for s in BENCHMARK_SPECS] == [
+            "sb1",
+            "sb5",
+            "sb10",
+            "sb12",
+            "sb18",
+        ]
+
+    def test_lookup(self):
+        assert spec_by_name("sb12").n_cells == max(s.n_cells for s in BENCHMARK_SPECS)
+        with pytest.raises(KeyError):
+            spec_by_name("sb99")
+
+    def test_sb12_largest_sb18_smallest(self):
+        sizes = {s.name: s.n_cells for s in BENCHMARK_SPECS}
+        assert sizes["sb12"] == max(sizes.values())
+        assert sizes["sb18"] == min(sizes.values())
+
+    def test_scaled_spec(self):
+        spec = scaled_spec(spec_by_name("sb1"), 123)
+        assert spec.n_cells == 123
+        assert spec.name == "sb1"
+
+
+class TestBuildBenchmark:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_benchmark(BENCHMARK_SPECS[0], scale=0.0)
+
+    def test_scale_shrinks_design(self):
+        small = build_benchmark(BENCHMARK_SPECS[0], scale=0.05)
+        bigger = build_benchmark(BENCHMARK_SPECS[0], scale=0.15)
+        assert small.netlist.num_cells < bigger.netlist.num_cells
+
+    def test_vpin_counts_grow_downward(self, small_design):
+        """Lower split layers cut more nets (Table I's #v-pin column)."""
+        vias = small_design.vias_by_layer()
+        assert vias[4] > vias[6] > vias[8] > 0
+
+    def test_design_name_matches_spec(self, small_design):
+        assert small_design.name == "sb1"
+        assert small_design.netlist.name == "sb1"
+
+    def test_validates(self, small_design):
+        small_design.validate()
+
+
+class TestBuildSuite:
+    def test_subset_by_name(self):
+        suite = build_suite(scale=0.05, names=("sb1", "sb18"))
+        assert [d.name for d in suite] == ["sb1", "sb18"]
+
+    def test_suite_distinct(self, small_suite):
+        lengths = [d.total_wirelength for d in small_suite]
+        assert len(set(lengths)) == len(lengths)

@@ -1,0 +1,80 @@
+"""Tests for Bookshelf-format export/import."""
+
+import pytest
+
+from repro.synth.bookshelf import read_bookshelf, write_bookshelf
+
+
+@pytest.fixture(scope="module")
+def round_tripped(small_design, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bookshelf")
+    write_bookshelf(
+        small_design.netlist, small_design.die, directory, "sb1"
+    )
+    netlist, die = read_bookshelf(directory, "sb1")
+    return small_design, netlist, die, directory
+
+
+class TestWrite:
+    def test_all_files_written(self, round_tripped):
+        _, _, _, directory = round_tripped
+        for ext in ("aux", "nodes", "nets", "pl", "scl"):
+            assert (directory / f"sb1.{ext}").exists()
+
+    def test_headers(self, round_tripped):
+        original, _, _, directory = round_tripped
+        nodes = (directory / "sb1.nodes").read_text()
+        assert "UCLA nodes 1.0" in nodes
+        assert f"NumNodes : {original.netlist.num_cells}" in nodes
+        nets = (directory / "sb1.nets").read_text()
+        assert f"NumNets : {original.netlist.num_nets}" in nets
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, round_tripped):
+        original, netlist, _die, _ = round_tripped
+        assert netlist.num_cells == original.netlist.num_cells
+        assert netlist.num_nets == original.netlist.num_nets
+
+    def test_die_preserved(self, round_tripped):
+        original, _netlist, die, _ = round_tripped
+        assert die.width == pytest.approx(original.die.width)
+        assert die.height == pytest.approx(original.die.height)
+
+    def test_placements_preserved(self, round_tripped):
+        original, netlist, _die, _ = round_tripped
+        by_name = {c.name: c for c in netlist.cells}
+        for cell in original.netlist.cells:
+            restored = by_name[cell.name]
+            assert restored.location.x == pytest.approx(cell.location.x)
+            assert restored.location.y == pytest.approx(cell.location.y)
+            assert restored.master.width == pytest.approx(cell.master.width)
+            assert restored.master.is_macro == cell.master.is_macro
+
+    def test_pin_locations_preserved(self, round_tripped):
+        """Absolute pin positions survive the center-offset conversion."""
+        original, netlist, _die, _ = round_tripped
+        by_name = {c.name: c for c in netlist.cells}
+        index_by_name = {c.name: k for k, c in enumerate(netlist.cells)}
+        for net in original.netlist.nets[:40]:
+            for ref in net.pins:
+                cell = original.netlist.cells[ref.cell]
+                original_location = original.netlist.pin_location(ref)
+                restored_cell = by_name[cell.name]
+                restored_location = restored_cell.pin_location(ref.pin)
+                assert restored_location.x == pytest.approx(original_location.x)
+                assert restored_location.y == pytest.approx(original_location.y)
+
+    def test_netlist_validates(self, round_tripped):
+        _, netlist, _, _ = round_tripped
+        netlist.validate()
+
+    def test_routable(self, round_tripped):
+        """A re-imported netlist goes straight through the router."""
+        from repro.layout.technology import make_default_technology
+        from repro.synth.router import GlobalRouter, RouterConfig
+
+        _, netlist, die, _ = round_tripped
+        router = GlobalRouter(make_default_technology(), die, RouterConfig(seed=1))
+        routes = router.route_netlist(netlist)
+        assert len(routes) == netlist.num_nets

@@ -1,0 +1,84 @@
+"""Tests for placement-aware netlist synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.layout.cells import make_standard_library
+from repro.synth.netlist_gen import NetlistConfig, generate_nets
+from repro.synth.placement import PlacementConfig, generate_placement
+
+
+@pytest.fixture(scope="module")
+def connected():
+    library = make_standard_library()
+    netlist, die = generate_placement(library, PlacementConfig(n_cells=600, seed=5))
+    generate_nets(netlist, die, NetlistConfig(seed=9))
+    return netlist, die
+
+
+class TestNetlistConfig:
+    def test_mixture_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            NetlistConfig(length_mixture=((0.5, 0.1), (0.4, 0.2)))
+
+    def test_drive_probability_range(self):
+        with pytest.raises(ValueError):
+            NetlistConfig(drive_probability=0.0)
+
+
+class TestGenerateNets:
+    def test_netlist_is_structurally_valid(self, connected):
+        netlist, _ = connected
+        netlist.validate()
+
+    def test_reasonable_net_count(self, connected):
+        netlist, _ = connected
+        assert netlist.num_nets > 0.5 * netlist.num_cells
+
+    def test_each_input_pin_used_at_most_once(self, connected):
+        netlist, _ = connected
+        seen = set()
+        for net in netlist.nets:
+            for sink in net.sinks:
+                key = (sink.cell, sink.pin)
+                assert key not in seen
+                seen.add(key)
+
+    def test_fanout_bounded(self, connected):
+        netlist, _ = connected
+        config = NetlistConfig()
+        for net in netlist.nets:
+            assert 1 <= len(net.sinks) <= config.max_fanout
+
+    def test_no_self_loops(self, connected):
+        netlist, _ = connected
+        for net in netlist.nets:
+            for sink in net.sinks:
+                assert sink.cell != net.driver.cell
+
+    def test_length_distribution_heavy_tailed(self, connected):
+        """Most nets are local; a small fraction crosses the die."""
+        netlist, die = connected
+        lengths = []
+        for net in netlist.nets:
+            pins = [netlist.pin_location(r) for r in net.pins]
+            spans = [pins[0].manhattan(p) for p in pins[1:]]
+            lengths.append(max(spans))
+        lengths = np.array(lengths)
+        half_perimeter = die.half_perimeter
+        assert (lengths < 0.05 * half_perimeter).mean() > 0.35
+        long_fraction = (lengths > 0.2 * half_perimeter).mean()
+        assert 0.01 < long_fraction < 0.25
+
+    def test_deterministic(self):
+        library = make_standard_library()
+        netlist1, die = generate_placement(
+            library, PlacementConfig(n_cells=150, seed=4)
+        )
+        netlist2, _ = generate_placement(
+            library, PlacementConfig(n_cells=150, seed=4)
+        )
+        generate_nets(netlist1, die, NetlistConfig(seed=2))
+        generate_nets(netlist2, die, NetlistConfig(seed=2))
+        assert [n.name for n in netlist1.nets] == [n.name for n in netlist2.nets]
+        assert [n.pins for n in netlist1.nets] == [n.pins for n in netlist2.nets]

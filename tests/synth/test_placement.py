@@ -1,0 +1,108 @@
+"""Tests for the row-based placement generator."""
+
+import numpy as np
+import pytest
+
+from repro.layout.cells import make_standard_library
+from repro.synth.placement import PlacementConfig, generate_placement
+
+
+@pytest.fixture(scope="module")
+def placed():
+    library = make_standard_library()
+    config = PlacementConfig(n_cells=400, seed=7)
+    return generate_placement(library, config)
+
+
+class TestPlacementConfig:
+    def test_bad_cells(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_cells=0)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_cells=10, utilization=0.99)
+
+    def test_bad_aspect(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_cells=10, aspect_ratio=-1)
+
+
+class TestGeneratePlacement:
+    def test_cells_inside_die(self, placed):
+        netlist, die = placed
+        for cell in netlist.cells:
+            outline = cell.outline
+            assert outline.xlo >= die.xlo - 1e-9
+            assert outline.xhi <= die.xhi + 1e-9
+            assert outline.ylo >= die.ylo - 1e-9
+            assert outline.yhi <= die.yhi + 1e-9
+
+    def test_cells_on_rows(self, placed):
+        netlist, _die = placed
+        row_height = 8.0
+        for cell in netlist.cells:
+            if cell.master.is_macro:
+                continue
+            assert cell.location.y % row_height == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_overlaps_within_row(self, placed):
+        netlist, _die = placed
+        by_row: dict[float, list] = {}
+        for cell in netlist.cells:
+            if cell.master.is_macro:
+                continue
+            by_row.setdefault(cell.location.y, []).append(cell.outline)
+        for outlines in by_row.values():
+            outlines.sort(key=lambda r: r.xlo)
+            for a, b in zip(outlines, outlines[1:]):
+                assert a.xhi <= b.xlo + 1e-9
+
+    def test_macros_placed(self, placed):
+        netlist, die = placed
+        macros = [c for c in netlist.cells if c.master.is_macro]
+        assert len(macros) == 2
+        # Against die corners.
+        for macro in macros:
+            outline = macro.outline
+            assert (
+                outline.xlo == die.xlo
+                or outline.xhi == pytest.approx(die.xhi)
+            )
+
+    def test_macros_do_not_overlap_cells(self, placed):
+        netlist, _die = placed
+        macros = [c.outline for c in netlist.cells if c.master.is_macro]
+        for cell in netlist.cells:
+            if cell.master.is_macro:
+                continue
+            for macro in macros:
+                # Row-sharing is fine; true area overlap is not.
+                inter_w = min(cell.outline.xhi, macro.xhi) - max(
+                    cell.outline.xlo, macro.xlo
+                )
+                inter_h = min(cell.outline.yhi, macro.yhi) - max(
+                    cell.outline.ylo, macro.ylo
+                )
+                assert inter_w <= 1e-9 or inter_h <= 1e-9
+
+    def test_utilization_near_target(self, placed):
+        netlist, die = placed
+        used = sum(c.area for c in netlist.cells)
+        utilization = used / die.area
+        assert 0.4 < utilization <= 0.95
+
+    def test_deterministic(self):
+        library = make_standard_library()
+        config = PlacementConfig(n_cells=100, seed=3)
+        a, die_a = generate_placement(library, config)
+        b, die_b = generate_placement(library, config)
+        assert die_a == die_b
+        assert [c.name for c in a.cells] == [c.name for c in b.cells]
+        assert [c.location for c in a.cells] == [c.location for c in b.cells]
+
+    def test_seed_changes_layout(self):
+        library = make_standard_library()
+        a, _ = generate_placement(library, PlacementConfig(n_cells=100, seed=1))
+        b, _ = generate_placement(library, PlacementConfig(n_cells=100, seed=2))
+        assert [c.location for c in a.cells] != [c.location for c in b.cells]

@@ -1,0 +1,64 @@
+"""Tests for the bus-heavy benchmark variant."""
+
+import numpy as np
+import pytest
+
+from repro.splitmfg.split import split_design
+from repro.synth.variants import BusConfig, build_bus_benchmark
+
+
+@pytest.fixture(scope="module")
+def bus_design():
+    return build_bus_benchmark("sb1", scale=0.15, bus_config=BusConfig(seed=3))
+
+
+class TestBusInjection:
+    def test_bus_nets_created(self, bus_design):
+        design, names = bus_design
+        assert len(names) >= 0.8 * BusConfig().n_buses * BusConfig().bus_width
+        net_names = {n.name for n in design.netlist.nets}
+        assert set(names) <= net_names
+
+    def test_design_valid(self, bus_design):
+        design, _ = bus_design
+        design.validate()
+
+    def test_bus_nets_are_long(self, bus_design):
+        """Buses span a large fraction of the die, so they route high."""
+        design, names = bus_design
+        spans = []
+        for name in names:
+            net = next(n for n in design.netlist.nets if n.name == name)
+            pins = [design.netlist.pin_location(r) for r in net.pins]
+            spans.append(pins[0].manhattan(pins[1]))
+        assert np.median(spans) > 0.3 * design.die.half_perimeter / 2
+
+    def test_bus_bits_parallel(self, bus_design):
+        """Bits of one bus start from nearby rows (the regular pattern)."""
+        design, names = bus_design
+        bus0 = [n for n in names if n.startswith("bus0_")]
+        drivers = []
+        for name in bus0:
+            net = next(n for n in design.netlist.nets if n.name == name)
+            drivers.append(design.netlist.pin_location(net.driver))
+        ys = sorted(p.y for p in drivers)
+        # Bits target consecutive rows; pin availability can push a bit a
+        # few rows off, but the bundle stays within a narrow band
+        # (<~4 rows per bit) rather than scattering across the die.
+        assert ys[-1] - ys[0] <= 4 * 8.0 * (len(bus0) + 2)
+
+    def test_buses_cut_at_high_layers(self, bus_design):
+        design, names = bus_design
+        view = split_design(design, 8)
+        bus_vpins = [v for v in view.vpins if v.net in set(names)]
+        assert len(bus_vpins) >= len(names)  # each cut bus bit gives >= 2
+
+    def test_unique_pins(self, bus_design):
+        design, _ = bus_design
+        design.netlist.validate()
+        seen = set()
+        for net in design.netlist.nets:
+            for sink in net.sinks:
+                key = (sink.cell, sink.pin)
+                assert key not in seen
+                seen.add(key)

@@ -1,0 +1,73 @@
+"""Meta-tests: public API completeness and documentation coverage."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.layout",
+    "repro.synth",
+    "repro.splitmfg",
+    "repro.ml",
+    "repro.attack",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+def _iter_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        yield module
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                yield importlib.import_module(f"{name}.{info.name}")
+
+
+class TestDocumentation:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [
+            m.__name__ for m in _iter_modules() if not (m.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in _iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "package",
+        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis"],
+    )
+    def test_all_lists_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize(
+        "package",
+        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis"],
+    )
+    def test_all_sorted(self, package):
+        module = importlib.import_module(package)
+        assert list(module.__all__) == sorted(module.__all__)
+
+    def test_version(self):
+        assert repro.__version__

@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.out == "designs"
+        assert args.scale == 0.3
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.config == "Imp-11"
+        assert args.layer == 8
+
+
+class TestCommands:
+    def test_generate_and_split(self, tmp_path, capsys):
+        rc = main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path),
+                "--scale",
+                "0.05",
+                "--names",
+                "sb1",
+            ]
+        )
+        assert rc == 0
+        design_path = tmp_path / "sb1.json"
+        assert design_path.exists()
+        rc = main(["split", str(design_path), "--layer", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "v-pins" in out
+
+    def test_challenge_command(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path),
+                "--scale",
+                "0.05",
+                "--names",
+                "sb18",
+            ]
+        )
+        rc = main(
+            [
+                "challenge",
+                str(tmp_path / "sb18.json"),
+                "--layer",
+                "6",
+                "--out",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "out" / "sb18.L6.public.json").exists()
+        assert (tmp_path / "out" / "sb18.L6.oracle.json").exists()
+
+    def test_challenge_no_oracle(self, tmp_path, capsys):
+        main(
+            ["generate", "--out", str(tmp_path), "--scale", "0.05", "--names", "sb18"]
+        )
+        rc = main(
+            [
+                "challenge",
+                str(tmp_path / "sb18.json"),
+                "--out",
+                str(tmp_path / "out"),
+                "--no-oracle",
+            ]
+        )
+        assert rc == 0
+        assert not (tmp_path / "out" / "sb18.L8.oracle.json").exists()
+
+    def test_attack_small(self, capsys):
+        rc = main(
+            ["attack", "--scale", "0.08", "--layer", "8", "--config", "Imp-9"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Imp-9 attack" in out
+        assert "sb12" in out
+
+    def test_attack_unknown_config(self, capsys):
+        rc = main(["attack", "--config", "NOPE"])
+        assert rc == 2
+
+    def test_experiments_only_figure4(self, capsys):
+        rc = main(["experiments", "--scale", "0.08", "--only", "figure4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out

@@ -1,0 +1,79 @@
+"""Consistency tests over the transcribed paper numbers."""
+
+import pytest
+
+from repro import paper_data
+
+
+class TestStructure:
+    def test_benchmarks_everywhere(self):
+        for layer, per_design in paper_data.TABLE1_NUM_VPINS.items():
+            assert set(per_design) == set(paper_data.BENCHMARKS)
+        for layer, per_design in paper_data.TABLE1_PRIOR_WORK.items():
+            assert set(per_design) == set(paper_data.BENCHMARKS)
+
+    def test_vpin_counts_grow_downward(self):
+        """The paper's own numbers: lower layers hold more v-pins."""
+        for design in paper_data.BENCHMARKS:
+            assert (
+                paper_data.TABLE1_NUM_VPINS[4][design]
+                > paper_data.TABLE1_NUM_VPINS[6][design]
+                > paper_data.TABLE1_NUM_VPINS[8][design]
+            )
+
+    def test_rates_are_fractions(self):
+        for per_config in paper_data.TABLE5_VALIDATED_PA.values():
+            for rate in per_config.values():
+                assert 0 <= rate <= 1
+        for per_noise in paper_data.TABLE6_PA_UNDER_NOISE.values():
+            for rate in per_noise.values():
+                assert 0 <= rate <= 1
+
+
+class TestPaperShapeClaims:
+    """The paper's qualitative claims hold within its own tables --
+    these are the criteria compare_paper checks against measurements."""
+
+    def test_ml_dominates_prior_work(self):
+        for layer, per_config in paper_data.TABLE1_AVG_LOC_AT_PRIOR_ACCURACY.items():
+            for config, loc in per_config.items():
+                if config != "[5]":
+                    assert loc < per_config["[5]"]
+
+    def test_reptree_is_faster(self):
+        for layer, runtimes in paper_data.TABLE2_RUNTIME_MINUTES.items():
+            assert runtimes["REPTree"] < 0.15 * runtimes["RandomTree[18]"]
+
+    def test_two_level_wins_at_layer8(self):
+        pruned = paper_data.TABLE3_LAYER8["two-level"]
+        plain = paper_data.TABLE3_LAYER8["no-pruning"]
+        assert pruned[0] < plain[0] and pruned[1] > plain[1]
+
+    def test_accuracy_degrades_downward(self):
+        for config in ("ML-9", "Imp-9", "Imp-11"):
+            assert (
+                paper_data.TABLE4_ACCURACY_AT_FRACTION[8][config][0.01]
+                > paper_data.TABLE4_ACCURACY_AT_FRACTION[6][config][0.01]
+            )
+
+    def test_imp_speedup_grows_downward(self):
+        def speedup(layer):
+            r = paper_data.TABLE4_RUNTIME_SECONDS[layer]
+            return r["ML-9"] / r["Imp-9"]
+
+        assert speedup(4) > speedup(6) > speedup(8)
+
+    def test_y_configs_best_pa_at_layer8(self):
+        pa = paper_data.TABLE5_VALIDATED_PA[8]
+        assert max(pa, key=lambda c: pa[c]).endswith("Y")
+
+    def test_validated_pa_beats_fixed_threshold(self):
+        for layer in (6, 4):
+            best = max(paper_data.TABLE5_VALIDATED_PA[layer].values())
+            assert best > paper_data.TABLE5_FIXED_THRESHOLD_PA[layer]
+
+    def test_noise_collapses_pa(self):
+        for layer, per_noise in paper_data.TABLE6_PA_UNDER_NOISE.items():
+            assert per_noise[0.01] < 0.6 * per_noise[0.0]
+            # 2% adds little over 1%.
+            assert abs(per_noise[0.02] - per_noise[0.01]) < 0.15 * per_noise[0.0]
