@@ -10,7 +10,9 @@ Layer map:
 * :mod:`repro.attack`   -- the ML attack, two-level pruning, proximity
   attack, prior-work baselines, obfuscation defense;
 * :mod:`repro.analysis` -- rankings, distributions, trade-off curves;
-* :mod:`repro.experiments` -- one module per paper table/figure.
+* :mod:`repro.experiments` -- one module per paper table/figure;
+* :mod:`repro.serve`    -- model artifacts, registry, batched inference
+  engine, and the challenge-scoring attack service (CLI + HTTP).
 
 Quickstart::
 

@@ -6,7 +6,12 @@ Commands:
 * ``split``    -- cut a saved design and print its v-pin statistics;
 * ``attack``   -- run a leave-one-out attack over the suite and print
   the headline metrics for one configuration;
-* ``experiments`` -- run the named paper experiments (or all of them).
+* ``experiments`` -- run the named paper experiments (or all of them);
+* ``train-model`` -- train an attack classifier and save it to a model
+  registry (``repro.serve``);
+* ``predict``  -- score a public challenge file with a registry model;
+* ``serve``    -- serve registry models over a JSON HTTP API;
+* ``models``   -- list the models in a registry.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+from .experiments.common import positive_scale
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -110,6 +117,142 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_views(args: argparse.Namespace) -> list:
+    """Training views from ``--designs`` files or the generated suite."""
+    from .layout.io import load_design
+    from .splitmfg.vpin_features import make_split_view
+    from .synth.benchmarks import build_suite
+
+    if args.designs:
+        designs = [load_design(path) for path in args.designs]
+    else:
+        designs = build_suite(scale=args.scale)
+    return [make_split_view(design, args.layer) for design in designs]
+
+
+def _cmd_train_model(args: argparse.Namespace) -> int:
+    from .attack.config import CONFIGS_BY_NAME
+    from .serve import ModelRegistry
+    from .serve.service import train_model
+
+    config = CONFIGS_BY_NAME.get(args.config)
+    if config is None:
+        print(
+            f"unknown configuration {args.config!r}; "
+            f"choose from {sorted(CONFIGS_BY_NAME)}",
+            file=sys.stderr,
+        )
+        return 2
+    views = _load_views(args)
+    artifact = train_model(config, views, seed=args.seed)
+    entry = ModelRegistry(args.registry).save(artifact, name=args.name)
+    meta = artifact.meta
+    print(
+        f"{entry.model_id}: {config.name} on "
+        f"{', '.join(meta['training_designs'])} (layer {args.layer}), "
+        f"{meta['n_training_samples']} samples, "
+        f"{meta['train_time']:.1f}s -> {entry.manifest_path}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import AttackService, ModelNotFoundError, ModelRegistry
+
+    try:
+        service = AttackService(ModelRegistry(args.registry, create=False))
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    with open(args.challenge) as handle:
+        public = json.load(handle)
+    try:
+        response = service.predict(
+            public,
+            model_id=args.model,
+            threshold=args.threshold,
+            top_k=args.top_k,
+        )
+    except ModelNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(response, handle)
+        print(f"wrote {args.out}")
+    mode = (
+        f"top-{response['top_k']}"
+        if response["top_k"] is not None
+        else f"threshold {response['threshold']}"
+    )
+    print(
+        f"{response['design']} (layer {response['split_layer']}): "
+        f"{response['n_vpins']} v-pins, "
+        f"{response['n_pairs_evaluated']} pairs scored with "
+        f"{response['model_id']} at {mode}; "
+        f"mean |LoC| {response['mean_loc_size']:.2f}, "
+        f"{response['time_s']:.2f}s"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import AttackService, ModelRegistry, make_server
+
+    try:
+        service = AttackService(ModelRegistry(args.registry, create=False))
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    server = make_server(service, host=args.host, port=args.port)
+    server.quiet = args.quiet
+    host, port = server.server_address[:2]
+    print(f"serving {len(service.models())} model(s) on http://{host}:{port}")
+    print("endpoints: GET /health, GET /models, POST /predict")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .reporting import ascii_table
+    from .serve import ModelRegistry
+
+    try:
+        entries = ModelRegistry(args.registry, create=False).list()
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no models in {args.registry}")
+        return 0
+    rows = [
+        [
+            e.model_id,
+            e.kind,
+            e.meta.get("config", {}).get("name", "-"),
+            e.meta.get("split_layer", "-"),
+            e.n_estimators,
+            ", ".join(e.meta.get("training_designs", [])) or "-",
+        ]
+        for e in entries
+    ]
+    print(
+        ascii_table(
+            ("model", "kind", "config", "layer", "#trees", "trained on"),
+            rows,
+            title=f"registry {args.registry}",
+        )
+    )
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.run_all import run_all
 
@@ -134,7 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     generate = sub.add_parser("generate", help="build and save benchmarks")
     generate.add_argument("--out", default="designs")
-    generate.add_argument("--scale", type=float, default=0.3)
+    generate.add_argument("--scale", type=positive_scale, default=0.3)
     generate.add_argument("--names", nargs="*", default=None)
     generate.set_defaults(func=_cmd_generate)
 
@@ -156,15 +299,63 @@ def build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="run a LOO attack on the suite")
     attack.add_argument("--config", default="Imp-11")
     attack.add_argument("--layer", type=int, default=8)
-    attack.add_argument("--scale", type=float, default=0.3)
+    attack.add_argument("--scale", type=positive_scale, default=0.3)
     attack.add_argument("--seed", type=int, default=0)
     attack.set_defaults(func=_cmd_attack)
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
-    experiments.add_argument("--scale", type=float, default=0.5)
+    experiments.add_argument("--scale", type=positive_scale, default=0.5)
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument("--only", nargs="*", default=None)
     experiments.set_defaults(func=_cmd_experiments)
+
+    train_model = sub.add_parser(
+        "train-model", help="train a classifier and register it for serving"
+    )
+    train_model.add_argument("--config", default="Imp-11")
+    train_model.add_argument("--layer", type=int, default=8)
+    train_model.add_argument("--scale", type=positive_scale, default=0.3)
+    train_model.add_argument("--seed", type=int, default=0)
+    train_model.add_argument(
+        "--designs",
+        nargs="*",
+        default=None,
+        help="design JSON files to train on (default: the generated suite)",
+    )
+    train_model.add_argument("--registry", default="models")
+    train_model.add_argument(
+        "--name", default=None, help="registry name (default: the config name)"
+    )
+    train_model.set_defaults(func=_cmd_train_model)
+
+    predict = sub.add_parser(
+        "predict", help="score a public challenge file with a registry model"
+    )
+    predict.add_argument("challenge", help="public challenge JSON file")
+    predict.add_argument("--registry", default="models")
+    predict.add_argument(
+        "--model", default=None, help="model id or name (default: newest model)"
+    )
+    predict.add_argument("--threshold", type=float, default=None)
+    predict.add_argument("--top-k", type=int, default=None, dest="top_k")
+    predict.add_argument("--out", default=None, help="write the full JSON response")
+    predict.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser("serve", help="serve registry models over HTTP")
+    serve.add_argument("--registry", default="models")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--quiet",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="suppress per-request logging",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    models = sub.add_parser("models", help="list the models in a registry")
+    models.add_argument("--registry", default="models")
+    models.set_defaults(func=_cmd_models)
     return parser
 
 

@@ -9,6 +9,7 @@ reproduction scale, smaller values keep CI benches fast.
 from __future__ import annotations
 
 import argparse
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,8 +25,32 @@ _suite_cache: dict[float, list[Design]] = {}
 _view_cache: dict[tuple[float, int], list[SplitView]] = {}
 
 
+def validate_scale(scale: float) -> float:
+    """Reject non-positive / non-finite benchmark scales up front.
+
+    A bad ``--scale`` otherwise surfaces deep inside the generator as an
+    empty placement or a zero-size die; fail here with a clear message.
+    """
+    try:
+        value = float(scale)
+    except (TypeError, ValueError):
+        raise ValueError(f"scale must be a number, got {scale!r}") from None
+    if not (math.isfinite(value) and value > 0):
+        raise ValueError(f"scale must be a positive finite number, got {scale!r}")
+    return value
+
+
+def positive_scale(text: str) -> float:
+    """``argparse`` type for ``--scale``: a positive finite float."""
+    try:
+        return validate_scale(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def get_suite(scale: float = DEFAULT_SCALE) -> list[Design]:
     """The five-design suite at ``scale`` (cached per process)."""
+    scale = validate_scale(scale)
     if scale not in _suite_cache:
         _suite_cache[scale] = build_suite(scale=scale)
     return _suite_cache[scale]
@@ -62,6 +87,6 @@ class ExperimentOutput:
 def standard_cli(description: str) -> argparse.Namespace:
     """Common ``--scale/--seed`` CLI for ``python -m`` execution."""
     parser = argparse.ArgumentParser(description=description)
-    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--scale", type=positive_scale, default=DEFAULT_SCALE)
     parser.add_argument("--seed", type=int, default=0)
     return parser.parse_args()

@@ -3,6 +3,11 @@
 Paper Eq. (3): the ensemble probability is the plain average of the base
 classifiers' leaf probabilities; Eq. (2) then thresholds it (default 0.5,
 generalized to an arbitrary ``t`` to control LoC sizes, Section III-F).
+
+Inference is delegated to the stacked-tree engine
+(:mod:`repro.serve.engine`), which walks all estimators in one pass and
+is bit-identical to the per-estimator reference loop kept as
+:meth:`Bagging.predict_proba_looped`.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ class Bagging:
         self.rng = np.random.default_rng(seed)
         self.voting = voting
         self.estimators_: list[DecisionTreeBase] = []
+        self._engine = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "Bagging":
         X = np.asarray(X, dtype=float)
@@ -46,6 +52,7 @@ class Bagging:
         if n == 0:
             raise ValueError("cannot fit on an empty training set")
         self.estimators_ = []
+        self._engine = None
         for _ in range(self.n_estimators):
             rows = self.rng.integers(n, size=n)
             estimator = self.base_factory(
@@ -56,7 +63,28 @@ class Bagging:
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Ensemble probability per sample (paper Eq. 3)."""
+        """Ensemble probability per sample (paper Eq. 3).
+
+        Scored through the stacked-tree engine (built lazily, cached
+        until the next ``fit``); bit-identical to
+        :meth:`predict_proba_looped`.
+        """
+        if not self.estimators_:
+            raise RuntimeError("fit() first")
+        if self._engine is None:
+            from ..serve.engine import StackedEnsemble
+
+            self._engine = StackedEnsemble.from_trees(
+                self.estimators_, voting=self.voting
+            )
+        return self._engine.predict_proba(X)
+
+    def predict_proba_looped(self, X: np.ndarray) -> np.ndarray:
+        """Reference implementation: one ``predict_proba`` per estimator.
+
+        Kept for equivalence tests and the looped-vs-batched benchmark
+        (``benchmarks/test_serve.py``); prefer :meth:`predict_proba`.
+        """
         if not self.estimators_:
             raise RuntimeError("fit() first")
         X = np.asarray(X, dtype=float)

@@ -1,0 +1,122 @@
+"""Stdlib JSON API over :class:`~repro.serve.service.AttackService`.
+
+Endpoints:
+
+* ``GET  /health``  -- liveness + registered model count;
+* ``GET  /models``  -- registry listing (``RegistryEntry.describe``);
+* ``POST /predict`` -- body ``{"challenge": <public doc>,
+  "model": <id|name, optional>, "threshold": <float, optional>,
+  "top_k": <int, optional>}``; responds with the service's prediction
+  document (per-v-pin LoCs / top-K candidates).
+
+Built on ``ThreadingHTTPServer`` so slow scoring requests do not block
+health checks; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .registry import ModelNotFoundError
+from .service import AttackService
+
+MAX_REQUEST_BYTES = 256 * 1024 * 1024
+
+
+class AttackHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`AttackService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AttackService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request routing for :class:`AttackHTTPServer`."""
+
+    server: AttackHTTPServer  # narrowed for type checkers
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: dict[str, Any]) -> None:
+        body = json.dumps(document).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """Route ``GET /health`` and ``GET /models``."""
+        if self.path == "/health":
+            self._send_json(
+                200,
+                {"status": "ok", "models": len(self.server.service.models())},
+            )
+        elif self.path == "/models":
+            self._send_json(200, {"models": self.server.service.models()})
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:
+        """Route ``POST /predict``."""
+        if self.path != "/predict":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_REQUEST_BYTES:
+            self._send_error_json(400, "missing or oversized request body")
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return
+        if not isinstance(request, dict) or "challenge" not in request:
+            self._send_error_json(400, "request must carry a 'challenge' document")
+            return
+        top_k = request.get("top_k")
+        threshold = request.get("threshold")
+        try:
+            response = self.server.service.predict(
+                request["challenge"],
+                model_id=request.get("model"),
+                threshold=None if threshold is None else float(threshold),
+                top_k=None if top_k is None else int(top_k),
+            )
+        except ModelNotFoundError as error:
+            self._send_error_json(404, str(error))
+        except (KeyError, TypeError, ValueError) as error:
+            self._send_error_json(400, f"bad request: {error}")
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {error}")
+        else:
+            self._send_json(200, response)
+
+
+def make_server(
+    service: AttackService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+) -> AttackHTTPServer:
+    """Bind (but do not start) the JSON API server; ``port=0`` picks a
+    free port (see ``server.server_address``)."""
+    return AttackHTTPServer((host, port), service)

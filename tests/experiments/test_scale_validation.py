@@ -1,0 +1,46 @@
+"""Tests for benchmark-scale validation in the experiment plumbing."""
+
+import argparse
+import math
+
+import pytest
+
+from repro.experiments.common import get_suite, positive_scale, validate_scale
+
+
+class TestValidateScale:
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, math.nan, math.inf, -math.inf])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(ValueError, match="positive finite"):
+            validate_scale(bad)
+
+    @pytest.mark.parametrize("bad", [None, "abc", [1.0]])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(ValueError, match="scale must be"):
+            validate_scale(bad)
+
+    def test_accepts_and_coerces(self):
+        assert validate_scale(0.3) == 0.3
+        assert validate_scale("0.5") == 0.5
+        assert validate_scale(1) == 1.0
+
+    @pytest.mark.parametrize("bad", [0, -2, math.nan])
+    def test_get_suite_rejects_bad_scales(self, bad):
+        with pytest.raises(ValueError, match="positive finite"):
+            get_suite(bad)
+
+
+class TestPositiveScale:
+    def test_argparse_type(self):
+        assert positive_scale("0.25") == 0.25
+        for bad in ("0", "-1", "nan", "junk"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                positive_scale(bad)
+
+    def test_standard_cli_rejects_bad_scale(self, capsys):
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--scale", type=positive_scale)
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["--scale", "0"])
+        assert excinfo.value.code == 2
+        assert "positive finite" in capsys.readouterr().err

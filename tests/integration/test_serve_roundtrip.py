@@ -1,0 +1,75 @@
+"""End-to-end serving round trip across process boundaries.
+
+The acceptance bar for the serving subsystem: train a model in one
+process, persist it through the registry, reload it in a *fresh* Python
+process, and score a challenge bit-identically to the in-memory
+ensemble.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attack.config import CONFIGS_BY_NAME
+from repro.attack.framework import evaluate_attack, train_attack
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import package_trained_attack
+from repro.splitmfg.challenge import challenge_to_dict
+
+REPO = Path(__file__).resolve().parents[2]
+
+_SCORE_SCRIPT = """
+import json, sys
+import numpy as np
+from repro.attack.framework import evaluate_attack
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import restore_trained_attack
+from repro.splitmfg.challenge import challenge_from_dicts
+
+registry_dir, challenge_path, out_path = sys.argv[1:4]
+_, artifact = ModelRegistry(registry_dir, create=False).load()
+trained = restore_trained_attack(artifact)
+with open(challenge_path) as handle:
+    view = challenge_from_dicts(json.load(handle))
+result = evaluate_attack(trained, view)
+np.savez(out_path, prob=result.prob, pair_i=result.pair_i, pair_j=result.pair_j)
+"""
+
+
+@pytest.mark.slow
+def test_fresh_process_scores_bit_identically(views6, tmp_path):
+    trained = train_attack(CONFIGS_BY_NAME["Imp-11"], list(views6), seed=0)
+    registry = ModelRegistry(tmp_path / "models")
+    registry.save(package_trained_attack(trained, views6), name="imp-11")
+
+    view = max(views6, key=len)
+    challenge_path = tmp_path / "challenge.json"
+    challenge_path.write_text(json.dumps(challenge_to_dict(view)))
+
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    out_path = tmp_path / "scores.npz"
+    subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _SCORE_SCRIPT,
+            str(tmp_path / "models"),
+            str(challenge_path),
+            str(out_path),
+        ],
+        check=True,
+        env=env,
+        cwd=tmp_path,
+        timeout=600,
+    )
+
+    direct = evaluate_attack(trained, view)
+    with np.load(out_path) as scored:
+        assert np.array_equal(scored["pair_i"], direct.pair_i)
+        assert np.array_equal(scored["pair_j"], direct.pair_j)
+        assert np.array_equal(scored["prob"], direct.prob)

@@ -74,6 +74,17 @@ class TestBagging:
         with pytest.raises(ValueError):
             Bagging().fit(np.zeros((0, 2)), np.zeros(0))
 
+    def test_engine_matches_looped_reference(self):
+        """The stacked-tree serving engine behind ``predict_proba`` must be
+        bit-identical to the per-estimator reference loop, both votings."""
+        X, y = _data()
+        Xt, _ = _data(n=800, seed=7)
+        for voting in ("soft", "hard"):
+            model = Bagging(n_estimators=6, seed=8, voting=voting).fit(X, y)
+            assert np.array_equal(
+                model.predict_proba(Xt), model.predict_proba_looped(Xt)
+            ), voting
+
     def test_deterministic(self):
         X, y = _data()
         p1 = Bagging(n_estimators=4, seed=9).fit(X, y).predict_proba(X)

@@ -1,0 +1,148 @@
+"""Artifact round-trip tests (property-based) and corruption handling."""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.bagging import Bagging
+from repro.ml.forest import RandomForest
+from repro.ml.tree import RandomTree, REPTree
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactSchemaError,
+    ModelArtifact,
+    load_artifact,
+    load_model,
+    read_manifest,
+    save_model,
+)
+
+MODEL_FACTORIES = {
+    "reptree": lambda seed: REPTree(seed=seed, max_depth=6),
+    "randomtree": lambda seed: RandomTree(seed=seed, max_depth=6),
+    "bagging": lambda seed: Bagging(n_estimators=3, seed=seed),
+    "bagging-hard": lambda seed: Bagging(n_estimators=3, seed=seed, voting="hard"),
+    "randomforest": lambda seed: RandomForest(n_estimators=4, seed=seed),
+}
+
+
+def _fit(kind, seed, n, n_features):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    y = (X[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(float)
+    return MODEL_FACTORIES[kind](seed).fit(X, y), rng.normal(size=(64, n_features))
+
+
+class TestRoundTrip:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        kind=st.sampled_from(sorted(MODEL_FACTORIES)),
+        seed=st.integers(0, 10_000),
+        n=st.integers(20, 120),
+        n_features=st.integers(2, 9),
+    )
+    def test_predict_proba_survives_round_trip(self, kind, seed, n, n_features):
+        model, Xt = _fit(kind, seed, n, n_features)
+        with tempfile.TemporaryDirectory() as tmp:
+            save_model(model, Path(tmp) / "m", meta={"seed": seed})
+            restored = load_model(Path(tmp) / "m.json")
+        assert type(restored) is type(model)
+        assert np.array_equal(model.predict_proba(Xt), restored.predict_proba(Xt))
+
+    def test_round_trip_preserves_structure_and_meta(self, tmp_path):
+        model, _ = _fit("bagging", 3, 80, 5)
+        meta = {"config": {"name": "Imp-11"}, "split_layer": 8}
+        manifest = save_model(model, tmp_path / "m", meta=meta)
+        assert manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert manifest["kind"] == "bagging"
+        assert manifest["n_estimators"] == 3
+        artifact = load_artifact(tmp_path / "m.json")
+        assert artifact.meta == meta
+        assert artifact.voting == "soft"
+        restored = artifact.to_model()
+        assert len(restored.estimators_) == 3
+        for original, loaded in zip(model.estimators_, restored.estimators_):
+            assert original._prior == loaded._prior
+            assert np.array_equal(original._tree.threshold, loaded._tree.threshold)
+
+    def test_hard_voting_survives(self, tmp_path):
+        model, Xt = _fit("bagging-hard", 5, 60, 4)
+        save_model(model, tmp_path / "m")
+        restored = load_model(tmp_path / "m.json")
+        assert restored.voting == "hard"
+        assert np.array_equal(model.predict_proba(Xt), restored.predict_proba(Xt))
+
+    def test_reptree_hyperparams_survive(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = REPTree(seed=0, max_depth=4, min_samples_leaf=3, num_folds=4).fit(X, y)
+        save_model(model, tmp_path / "m")
+        restored = load_model(tmp_path / "m.json")
+        assert restored.max_depth == 4
+        assert restored.min_samples_leaf == 3
+        assert restored.num_folds == 4
+
+
+class TestRejection:
+    def _saved(self, tmp_path):
+        model, _ = _fit("bagging", 1, 50, 4)
+        save_model(model, tmp_path / "m")
+        return tmp_path / "m.json", tmp_path / "m.npz"
+
+    def test_corrupted_payload_is_rejected(self, tmp_path):
+        json_path, npz_path = self._saved(tmp_path)
+        payload = bytearray(npz_path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        npz_path.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactIntegrityError, match="checksum mismatch"):
+            load_artifact(json_path)
+
+    def test_swapped_payload_is_rejected(self, tmp_path):
+        json_path, npz_path = self._saved(tmp_path)
+        other, _ = _fit("bagging", 2, 50, 4)
+        save_model(other, tmp_path / "other")
+        npz_path.write_bytes((tmp_path / "other.npz").read_bytes())
+        with pytest.raises(ArtifactIntegrityError):
+            load_artifact(json_path)
+
+    def test_wrong_schema_version_is_rejected(self, tmp_path):
+        json_path, _ = self._saved(tmp_path)
+        manifest = json.loads(json_path.read_text())
+        manifest["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        json_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactSchemaError, match="schema version"):
+            read_manifest(json_path)
+        with pytest.raises(ArtifactSchemaError):
+            load_artifact(json_path)
+
+    def test_missing_payload_is_rejected(self, tmp_path):
+        json_path, npz_path = self._saved(tmp_path)
+        npz_path.unlink()
+        with pytest.raises(ArtifactError, match="payload missing"):
+            load_artifact(json_path)
+
+    def test_missing_or_garbled_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            read_manifest(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ArtifactError):
+            read_manifest(bad)
+
+    def test_unfitted_model_cannot_be_packaged(self):
+        with pytest.raises(ArtifactError):
+            ModelArtifact.from_model(Bagging(n_estimators=3))
+        with pytest.raises(ArtifactError):
+            ModelArtifact.from_model(REPTree())
+
+    def test_unsupported_model_type(self):
+        with pytest.raises(ArtifactError, match="unsupported model type"):
+            ModelArtifact.from_model(object())

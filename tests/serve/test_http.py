@@ -1,0 +1,113 @@
+"""Tests for the stdlib JSON API (repro.serve.http)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.attack.config import CONFIGS_BY_NAME
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import AttackService, train_model
+from repro.serve.http import make_server
+from repro.splitmfg.challenge import challenge_to_dict
+
+
+@pytest.fixture(scope="module")
+def server(views6, tmp_path_factory):
+    """A live server on an ephemeral port, one model registered."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.save(train_model(CONFIGS_BY_NAME["Imp-7"], views6[:1], seed=0), name="m")
+    instance = make_server(AttackService(registry), port=0)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(server, path, body):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=body if isinstance(body, bytes) else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, document = _get(server, "/health")
+        assert status == 200
+        assert document == {"status": "ok", "models": 1}
+
+    def test_models(self, server):
+        status, document = _get(server, "/models")
+        assert status == 200
+        assert [m["model_id"] for m in document["models"]] == ["m-v0001"]
+
+    def test_predict(self, server, views6):
+        view = views6[0]
+        status, document = _post(
+            server, "/predict", {"challenge": challenge_to_dict(view)}
+        )
+        assert status == 200
+        assert document["design"] == view.design_name
+        assert document["n_vpins"] == len(view)
+        assert document["model_id"] == "m-v0001"
+
+    def test_predict_top_k(self, server, views6):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "model": "m", "top_k": 1},
+        )
+        assert status == 200
+        assert document["top_k"] == 1
+        assert all(len(d["candidates"]) == 1 for d in document["locs"])
+
+
+class TestErrors:
+    def test_unknown_paths(self, server):
+        assert _get(server, "/nope")[0] == 404
+        status, document = _post(server, "/frobnicate", {"x": 1})
+        assert status == 404
+        assert "unknown path" in document["error"]
+
+    def test_body_validation(self, server):
+        assert _post(server, "/predict", b"{broken json")[0] == 400
+        status, document = _post(server, "/predict", {"no_challenge": True})
+        assert status == 400
+        assert "challenge" in document["error"]
+        assert _post(server, "/predict", b"")[0] == 400
+
+    def test_unknown_model_is_404(self, server, views6):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "model": "ghost"},
+        )
+        assert status == 404
+        assert "ghost" in document["error"]
+
+    def test_malformed_challenge_is_400(self, server):
+        status, _ = _post(server, "/predict", {"challenge": {"bogus": 1}})
+        assert status == 400

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.attack",
     "repro.analysis",
     "repro.experiments",
+    "repro.serve",
 ]
 
 
@@ -54,7 +55,7 @@ class TestDocumentation:
 class TestExports:
     @pytest.mark.parametrize(
         "package",
-        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis"],
+        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis", "repro.serve"],
     )
     def test_all_lists_resolve(self, package):
         module = importlib.import_module(package)
@@ -63,7 +64,7 @@ class TestExports:
 
     @pytest.mark.parametrize(
         "package",
-        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis"],
+        ["repro.layout", "repro.synth", "repro.splitmfg", "repro.ml", "repro.attack", "repro.analysis", "repro.serve"],
     )
     def test_all_sorted(self, package):
         module = importlib.import_module(package)

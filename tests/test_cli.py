@@ -20,6 +20,26 @@ class TestParser:
         assert args.config == "Imp-11"
         assert args.layer == 8
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.registry == "models"
+        assert args.port == 8787
+        assert args.quiet is True
+
+    def test_train_model_and_predict_defaults(self):
+        args = build_parser().parse_args(["train-model"])
+        assert args.config == "Imp-11"
+        assert args.registry == "models"
+        args = build_parser().parse_args(["predict", "challenge.json", "--top-k", "3"])
+        assert args.top_k == 3
+        assert args.model is None
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "nan", "inf", "abc"])
+    def test_scale_must_be_positive_finite(self, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["attack", "--scale", bad])
+        assert excinfo.value.code == 2
+
 
 class TestCommands:
     def test_generate_and_split(self, tmp_path, capsys):
@@ -95,6 +115,87 @@ class TestCommands:
 
     def test_attack_unknown_config(self, capsys):
         rc = main(["attack", "--config", "NOPE"])
+        assert rc == 2
+
+    def test_train_predict_models_flow(self, tmp_path, capsys):
+        main(["generate", "--out", str(tmp_path), "--scale", "0.05", "--names", "sb1"])
+        main(
+            [
+                "challenge",
+                str(tmp_path / "sb1.json"),
+                "--layer",
+                "8",
+                "--out",
+                str(tmp_path),
+                "--no-oracle",
+            ]
+        )
+        rc = main(
+            [
+                "train-model",
+                "--config",
+                "Imp-7",
+                "--layer",
+                "8",
+                "--designs",
+                str(tmp_path / "sb1.json"),
+                "--registry",
+                str(tmp_path / "models"),
+            ]
+        )
+        assert rc == 0
+        assert "imp-7-v0001" in capsys.readouterr().out
+        rc = main(
+            [
+                "predict",
+                str(tmp_path / "sb1.L8.public.json"),
+                "--registry",
+                str(tmp_path / "models"),
+                "--top-k",
+                "2",
+                "--out",
+                str(tmp_path / "response.json"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "response.json").exists()
+        assert "sb1 (layer 8)" in capsys.readouterr().out
+        rc = main(["models", "--registry", str(tmp_path / "models")])
+        assert rc == 0
+        assert "imp-7-v0001" in capsys.readouterr().out
+
+    def test_predict_unknown_model(self, tmp_path, capsys):
+        main(["generate", "--out", str(tmp_path), "--scale", "0.05", "--names", "sb1"])
+        main(
+            [
+                "challenge",
+                str(tmp_path / "sb1.json"),
+                "--out",
+                str(tmp_path),
+                "--no-oracle",
+            ]
+        )
+        main(
+            [
+                "train-model",
+                "--config",
+                "Imp-7",
+                "--designs",
+                str(tmp_path / "sb1.json"),
+                "--registry",
+                str(tmp_path / "models"),
+            ]
+        )
+        rc = main(
+            [
+                "predict",
+                str(tmp_path / "sb1.L8.public.json"),
+                "--registry",
+                str(tmp_path / "models"),
+                "--model",
+                "ghost",
+            ]
+        )
         assert rc == 2
 
     def test_experiments_only_figure4(self, capsys):
