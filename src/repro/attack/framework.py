@@ -22,10 +22,20 @@ import numpy as np
 
 from ..ml.bagging import Bagging
 from ..ml.tree import RandomTree
+from ..runtime import (
+    FeatureCache,
+    code_fingerprint,
+    get_default_cache,
+    hash_key,
+    parallel_map,
+    spawn_seeds,
+    view_content_hash,
+)
 from ..splitmfg.pair_features import compute_pair_features, legal_pair_mask
 from ..splitmfg.sampling import (
     COORD_TOL,
     NeighborhoodIndex,
+    TrainingSet,
     build_training_set,
     iter_all_pairs,
     neighborhood_fraction,
@@ -77,33 +87,78 @@ class TrainedAttack:
     n_training_samples: int
 
 
+def _training_set_key(
+    config: AttackConfig,
+    training_views: list[SplitView],
+    fraction: float | None,
+    axis: str | None,
+    seed: int,
+    allowed: list[np.ndarray] | None,
+) -> str:
+    """Cache key for the featurized, balanced training matrices."""
+    return hash_key(
+        "training-set",
+        code_fingerprint(),
+        [view_content_hash(view) for view in training_views],
+        list(config.features),
+        fraction,
+        axis,
+        seed,
+        None if allowed is None else [np.asarray(m, dtype=bool) for m in allowed],
+    )
+
+
 def train_attack(
     config: AttackConfig,
     training_views: list[SplitView],
     seed: int = 0,
     allowed: list[np.ndarray] | None = None,
+    cache: FeatureCache | None = None,
 ) -> TrainedAttack:
-    """Fit the attack classifier on the training views."""
+    """Fit the attack classifier on the training views.
+
+    The sampling stream and the model seed are derived as *independent*
+    children of ``seed`` (``SeedSequence.spawn``): the fitted model is
+    identical whether the training matrices were rebuilt or restored
+    from ``cache`` (the process default cache when ``None``).
+    """
     if not training_views:
         raise ValueError("need at least one training view")
     start = time.perf_counter()
-    rng = np.random.default_rng(seed)
+    if cache is None:
+        cache = get_default_cache()
+    sample_sequence, model_sequence = np.random.SeedSequence(seed).spawn(2)
     axis = _limit_axis(config, training_views)
     fraction = (
         neighborhood_fraction(training_views, config.neighborhood_percentile)
         if config.scalable
         else None
     )
-    training_set = build_training_set(
-        training_views,
-        config.features,
-        rng,
-        neighborhood=fraction,
-        y_aligned_only=axis == "y",
-        x_aligned_only=axis == "x",
-        allowed=allowed,
-    )
-    model = make_classifier(config, seed=int(rng.integers(2**63)))
+    key: str | None = None
+    training_set: TrainingSet | None = None
+    if cache is not None:
+        key = _training_set_key(
+            config, training_views, fraction, axis, seed, allowed
+        )
+        stored = cache.get(key)
+        if stored is not None:
+            training_set = TrainingSet(
+                X=stored["X"], y=stored["y"], features=config.features
+            )
+    if training_set is None:
+        training_set = build_training_set(
+            training_views,
+            config.features,
+            np.random.default_rng(sample_sequence),
+            neighborhood=fraction,
+            y_aligned_only=axis == "y",
+            x_aligned_only=axis == "x",
+            allowed=allowed,
+        )
+        if cache is not None and key is not None:
+            cache.put(key, {"X": training_set.X, "y": training_set.y})
+    model_seed = int(np.random.default_rng(model_sequence).integers(2**63))
+    model = make_classifier(config, seed=model_seed)
     model.fit(training_set.X, training_set.y)
     return TrainedAttack(
         config=config,
@@ -132,46 +187,102 @@ def _candidate_chunks(
             yield i[legal], j[legal]
 
 
+def _candidate_key(trained: TrainedAttack, view: SplitView) -> str:
+    """Cache key for a view's featurized candidate pairs.
+
+    The key covers everything the candidate matrix depends on: the test
+    view's content, the feature set, and the testing rule (neighborhood
+    fraction and "Y" limit).  It does *not* depend on the classifier, so
+    every configuration sharing a testing rule reuses the entry.
+    """
+    return hash_key(
+        "candidates",
+        code_fingerprint(),
+        view_content_hash(view),
+        list(trained.config.features),
+        trained.neighborhood,
+        trained.limit_axis,
+    )
+
+
 def evaluate_attack(
     trained: TrainedAttack,
     view: SplitView,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache: FeatureCache | None = None,
 ) -> AttackResult:
     """Classify the test view's candidate pairs and record probabilities.
 
     Pairs violating the "Y" limit (when active) are classified as
     disconnected without testing -- they simply never enter the result,
     which is also what halves the runtime in Table IV.
+
+    When a feature cache is available (explicitly or via the process
+    default), the featurized candidate matrix is restored from disk on a
+    hit and stored after a miss; probabilities are identical either way
+    because every tree scores rows independently.
     """
     start = time.perf_counter()
-    arr = view.arrays()
+    if cache is None:
+        cache = get_default_cache()
+    key = _candidate_key(trained, view) if cache is not None else None
+    stored = cache.get(key) if cache is not None and key is not None else None
     out_i: list[np.ndarray] = []
     out_j: list[np.ndarray] = []
     out_p: list[np.ndarray] = []
+    out_X: list[np.ndarray] = []
     n_evaluated = 0
-    for i, j in _candidate_chunks(trained, view, chunk_size):
-        if trained.limit_axis == "y":
-            aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
-            i, j = i[aligned], j[aligned]
-        elif trained.limit_axis == "x":
-            aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
-            i, j = i[aligned], j[aligned]
-        if len(i) == 0:
-            continue
-        X = compute_pair_features(view, i, j, trained.config.features)
-        p = trained.model.predict_proba(X)
-        n_evaluated += len(i)
-        out_i.append(i)
-        out_j.append(j)
-        out_p.append(p)
-    if out_i:
-        pair_i = np.concatenate(out_i)
-        pair_j = np.concatenate(out_j)
-        prob = np.concatenate(out_p)
+    if stored is not None:
+        pair_i = stored["i"]
+        pair_j = stored["j"]
+        X_all = stored["X"]
+        for begin in range(0, len(pair_i), chunk_size):
+            out_p.append(
+                trained.model.predict_proba(X_all[begin : begin + chunk_size])
+            )
+        prob = np.concatenate(out_p) if out_p else np.zeros(0)
+        n_evaluated = len(pair_i)
     else:
-        pair_i = np.zeros(0, dtype=int)
-        pair_j = np.zeros(0, dtype=int)
-        prob = np.zeros(0)
+        arr = view.arrays()
+        for i, j in _candidate_chunks(trained, view, chunk_size):
+            if trained.limit_axis == "y":
+                aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
+                i, j = i[aligned], j[aligned]
+            elif trained.limit_axis == "x":
+                aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
+                i, j = i[aligned], j[aligned]
+            if len(i) == 0:
+                continue
+            X = compute_pair_features(view, i, j, trained.config.features)
+            p = trained.model.predict_proba(X)
+            n_evaluated += len(i)
+            out_i.append(i)
+            out_j.append(j)
+            out_p.append(p)
+            if key is not None:
+                out_X.append(X)
+        if out_i:
+            pair_i = np.concatenate(out_i)
+            pair_j = np.concatenate(out_j)
+            prob = np.concatenate(out_p)
+        else:
+            pair_i = np.zeros(0, dtype=int)
+            pair_j = np.zeros(0, dtype=int)
+            prob = np.zeros(0)
+        if cache is not None and key is not None:
+            n_features = len(trained.config.features)
+            cache.put(
+                key,
+                {
+                    "i": pair_i,
+                    "j": pair_j,
+                    "X": (
+                        np.vstack(out_X)
+                        if out_X
+                        else np.zeros((0, n_features))
+                    ),
+                },
+            )
     return AttackResult(
         view=view,
         pair_i=pair_i,
@@ -192,17 +303,38 @@ def loo_folds(
         yield test_view, views[:k] + views[k + 1 :]
 
 
+def _run_loo_fold(
+    task: tuple[AttackConfig, list[SplitView], int, int, int, FeatureCache | None],
+) -> AttackResult:
+    """One LOOCV fold, self-contained so a pool worker can run it."""
+    config, views, fold, fold_seed, chunk_size, cache = task
+    test_view = views[fold]
+    training_views = views[:fold] + views[fold + 1 :]
+    trained = train_attack(config, training_views, seed=fold_seed, cache=cache)
+    return evaluate_attack(trained, test_view, chunk_size, cache=cache)
+
+
 def run_loo(
     config: AttackConfig,
     views: list[SplitView],
     seed: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jobs: int = 1,
+    cache: FeatureCache | None = None,
 ) -> list[AttackResult]:
-    """Leave-one-out evaluation of one configuration over a suite."""
+    """Leave-one-out evaluation of one configuration over a suite.
+
+    Folds are independent: ``jobs > 1`` runs them on a process pool.
+    Fold seeds are spawned from ``seed`` up front, so the results are
+    bit-identical for every ``jobs`` value (timings aside).
+    """
     if len(views) < 2:
         raise ValueError("leave-one-out needs at least two views")
-    results = []
-    for fold, (test_view, training_views) in enumerate(loo_folds(views)):
-        trained = train_attack(config, training_views, seed=seed + fold)
-        results.append(evaluate_attack(trained, test_view, chunk_size))
-    return results
+    if cache is None:
+        cache = get_default_cache()
+    seeds = spawn_seeds(seed, len(views))
+    tasks = [
+        (config, views, fold, seeds[fold], chunk_size, cache)
+        for fold in range(len(views))
+    ]
+    return parallel_map(_run_loo_fold, tasks, jobs=jobs)

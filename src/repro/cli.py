@@ -11,7 +11,13 @@ Commands:
   registry (``repro.serve``);
 * ``predict``  -- score a public challenge file with a registry model;
 * ``serve``    -- serve registry models over a JSON HTTP API;
-* ``models``   -- list the models in a registry.
+* ``models``   -- list the models in a registry;
+* ``cache``    -- inspect or clear the on-disk feature cache.
+
+``attack``, ``experiments``, and its alias ``run-all`` accept ``--jobs N``
+(process-pool parallelism over folds/experiments; bit-identical to
+serial) and ``--no-cache``/``--cache-dir`` controlling the feature
+memoization cache (see ``repro.runtime``).
 """
 
 from __future__ import annotations
@@ -21,6 +27,32 @@ import sys
 from pathlib import Path
 
 from .experiments.common import positive_scale
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    """Install the process-default feature cache per CLI flags."""
+    from .runtime import FeatureCache, default_cache_dir, set_default_cache
+
+    if getattr(args, "no_cache", False):
+        set_default_cache(None)
+        return
+    set_default_cache(
+        FeatureCache(getattr(args, "cache_dir", None) or default_cache_dir())
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk feature cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="feature cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-splitmfg/features)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -93,9 +125,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    _configure_cache(args)
     designs = build_suite(scale=args.scale)
     views = [make_split_view(d, args.layer) for d in designs]
-    results = run_loo(config, views, seed=args.seed)
+    results = run_loo(config, views, seed=args.seed, jobs=args.jobs)
     rows = [
         [
             r.view.design_name,
@@ -254,16 +287,37 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments.run_all import run_all
+    from .experiments.run_all import render_report, run_all
 
+    _configure_cache(args)
     outputs = run_all(
         scale=args.scale,
         seed=args.seed,
         only=tuple(args.only) if args.only else None,
+        jobs=args.jobs,
     )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_report(outputs, timings=False) + "\n")
     for name, output in outputs.items():
         print(f"\n## {name}\n")
         print(output.report)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import FeatureCache, default_cache_dir
+
+    cache = FeatureCache(args.cache_dir or default_cache_dir())
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    print(
+        f"{cache.root}: {len(cache)} entries, "
+        f"{cache.total_bytes() / 1e6:.1f} MB"
+    )
     return 0
 
 
@@ -301,13 +355,44 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--layer", type=int, default=8)
     attack.add_argument("--scale", type=positive_scale, default=0.3)
     attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool workers for LOOCV folds (0 = all cores)",
+    )
+    _add_cache_arguments(attack)
     attack.set_defaults(func=_cmd_attack)
 
-    experiments = sub.add_parser("experiments", help="run paper experiments")
-    experiments.add_argument("--scale", type=positive_scale, default=0.5)
-    experiments.add_argument("--seed", type=int, default=0)
-    experiments.add_argument("--only", nargs="*", default=None)
-    experiments.set_defaults(func=_cmd_experiments)
+    for alias in ("experiments", "run-all"):
+        experiments = sub.add_parser(
+            alias,
+            help="run paper experiments"
+            + ("" if alias == "experiments" else " (alias of 'experiments')"),
+        )
+        experiments.add_argument("--scale", type=positive_scale, default=0.5)
+        experiments.add_argument("--seed", type=int, default=0)
+        experiments.add_argument("--only", nargs="*", default=None)
+        experiments.add_argument(
+            "--out",
+            default=None,
+            help="write the timing-free combined report to this file "
+            "(byte-identical across --jobs values)",
+        )
+        experiments.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="process-pool workers for independent experiments "
+            "(0 = all cores)",
+        )
+        _add_cache_arguments(experiments)
+        experiments.set_defaults(func=_cmd_experiments)
+
+    cache = sub.add_parser("cache", help="inspect or clear the feature cache")
+    cache.add_argument("--cache-dir", default=None)
+    cache.add_argument("--clear", action="store_true")
+    cache.set_defaults(func=_cmd_cache)
 
     train_model = sub.add_parser(
         "train-model", help="train a classifier and register it for serving"

@@ -16,7 +16,13 @@ import numpy as np
 from ..attack.config import IMP_9
 from ..attack.framework import run_loo
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_JOBS,
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYER = 6
 PERCENTILES: tuple[float, ...] = (70.0, 80.0, 90.0, 95.0, 99.0)
@@ -27,6 +33,7 @@ def run(
     seed: int = 0,
     layer: int = DEFAULT_LAYER,
     percentiles: tuple[float, ...] = PERCENTILES,
+    jobs: int = DEFAULT_JOBS,
 ) -> ExperimentOutput:
     """Run the neighborhood-percentile sweep at ``scale``."""
     views = get_views(layer, scale)
@@ -38,7 +45,7 @@ def run(
             name=f"Imp-9/p{percentile:g}",
             neighborhood_percentile=percentile,
         )
-        results = run_loo(config, views, seed=seed)
+        results = run_loo(config, views, seed=seed, jobs=jobs)
         entry = {
             "pairs": sum(r.n_pairs_evaluated for r in results),
             "saturation": float(

@@ -21,7 +21,13 @@ from ..ml.knn import KNNClassifier
 from ..ml.logistic import LogisticRegression
 from ..reporting import ascii_table, format_percent
 from ..splitmfg.sampling import build_training_set, neighborhood_fraction
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    fold_seeds,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYER = 6
 
@@ -44,15 +50,16 @@ def run(
     """Run the classifier comparison at ``scale`` (see module docstring)."""
     views = get_views(layer, scale)
     aggregates: dict[str, dict[str, list[float]]] = {}
+    seeds = fold_seeds(seed, len(views))
     for fold, (test_view, training_views) in enumerate(loo_folds(views)):
-        rng = np.random.default_rng(seed + fold)
+        rng = np.random.default_rng(seeds[fold])
         fraction = neighborhood_fraction(
             training_views, IMP_9.neighborhood_percentile
         )
         training_set = build_training_set(
             training_views, IMP_9.features, rng, neighborhood=fraction
         )
-        for name, model in _classifiers(seed + fold).items():
+        for name, model in _classifiers(seeds[fold]).items():
             if names is not None and name not in names:
                 continue
             start = time.perf_counter()

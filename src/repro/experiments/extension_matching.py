@@ -27,7 +27,13 @@ from ..attack.matching import (
 )
 from ..attack.proximity import pa_success_rate
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    fold_seeds,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYERS: tuple[int, ...] = (8, 6)
 
@@ -43,8 +49,9 @@ def run(
     for layer in layers:
         views = get_views(layer, scale)
         layer_data = []
+        seeds = fold_seeds(seed, len(views))
         for fold, (test_view, training_views) in enumerate(loo_folds(views)):
-            trained = train_attack(IMP_11, training_views, seed=seed + fold)
+            trained = train_attack(IMP_11, training_views, seed=seeds[fold])
             result = evaluate_attack(trained, test_view)
             record = {
                 "design": test_view.design_name,

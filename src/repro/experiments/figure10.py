@@ -16,7 +16,13 @@ from ..attack.config import IMP_11
 from ..attack.framework import run_loo
 from ..attack.obfuscation import obfuscate_suite
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_JOBS,
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYERS: tuple[int, ...] = (6, 4)
 NOISE_LEVELS: tuple[float, ...] = (0.0, 0.01, 0.02)
@@ -28,6 +34,7 @@ def run(
     seed: int = 0,
     layers: tuple[int, ...] = DEFAULT_LAYERS,
     noise_levels: tuple[float, ...] = NOISE_LEVELS,
+    jobs: int = DEFAULT_JOBS,
 ) -> ExperimentOutput:
     """Regenerate Fig. 10 at ``scale`` (see module docstring)."""
     blocks = []
@@ -42,7 +49,7 @@ def run(
                 if noise == 0.0
                 else obfuscate_suite(clean_views, noise, seed=seed + int(noise * 1000))
             )
-            results = run_loo(IMP_11, views, seed=seed)
+            results = run_loo(IMP_11, views, seed=seed, jobs=jobs)
             _, accuracies = mean_curve(results, SERIES_FRACTIONS)
             label = "no noise" if noise == 0 else f"SD={noise:.0%}"
             layer_data[label] = tuple(float(a) for a in accuracies)
@@ -72,4 +79,4 @@ def run(
 
 if __name__ == "__main__":
     args = standard_cli("Reproduce Fig. 10")
-    print(run(scale=args.scale, seed=args.seed).report)
+    print(run(scale=args.scale, seed=args.seed, jobs=args.jobs).report)

@@ -27,7 +27,13 @@ from ..attack.config import (
 )
 from ..attack.framework import loo_folds, run_loo
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_JOBS,
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYERS: tuple[int, ...] = (8, 6, 4)
 BASE_CONFIGS: tuple[AttackConfig, ...] = (ML_9, IMP_9, IMP_7, IMP_11)
@@ -56,6 +62,7 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
     layers: tuple[int, ...] = DEFAULT_LAYERS,
+    jobs: int = DEFAULT_JOBS,
 ) -> ExperimentOutput:
     """Regenerate Fig. 9 at ``scale`` (see module docstring)."""
     blocks = []
@@ -68,7 +75,7 @@ def run(
         rows = []
         layer_data: dict = {}
         for config in configs:
-            results = run_loo(config, views, seed=seed)
+            results = run_loo(config, views, seed=seed, jobs=jobs)
             _, accuracies = mean_curve(results, SERIES_FRACTIONS)
             layer_data[config.name] = tuple(float(a) for a in accuracies)
             rows.append(
@@ -99,4 +106,4 @@ def run(
 
 if __name__ == "__main__":
     args = standard_cli("Reproduce Fig. 9")
-    print(run(scale=args.scale, seed=args.seed).report)
+    print(run(scale=args.scale, seed=args.seed, jobs=args.jobs).report)

@@ -1,8 +1,14 @@
 """Run every table/figure experiment and emit a combined report.
 
-``python -m repro.experiments.run_all --scale 0.5 --out EXPERIMENTS.out``
-regenerates the full evaluation; the per-experiment sections are the
-inputs to EXPERIMENTS.md.
+``python -m repro.experiments.run_all --scale 0.5 --jobs 4 --out
+EXPERIMENTS.out`` regenerates the full evaluation; the per-experiment
+sections are the inputs to EXPERIMENTS.md.
+
+Experiments are independent of each other, so ``--jobs N`` fans them
+out over a process pool (``repro.runtime.parallel_map``).  Every
+experiment seeds itself from ``(seed, fold)`` alone, so the combined
+output is bit-identical for every ``N`` -- only the ``elapsed`` stamps
+(which never enter ``--out`` files) differ.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from ..runtime import FeatureCache, default_cache_dir, get_default_cache, parallel_map, set_default_cache
 from . import (
     ablation_calibration,
     ablation_neighborhood,
@@ -32,7 +39,7 @@ from . import (
     table5,
     table6,
 )
-from .common import DEFAULT_SCALE, ExperimentOutput
+from .common import DEFAULT_SCALE, ExperimentOutput, get_suite, positive_scale
 
 ALL_EXPERIMENTS = (
     ("table1", table1),
@@ -57,45 +64,110 @@ ALL_EXPERIMENTS = (
     ("compare_paper", compare_paper),
 )
 
+EXPERIMENTS_BY_NAME = dict(ALL_EXPERIMENTS)
+
+
+def _run_one(task: tuple[str, float, int, str | None]) -> ExperimentOutput:
+    """One experiment, self-contained for a pool worker.
+
+    The feature-cache directory travels in the task (not via inherited
+    globals) so behavior is identical under ``fork`` and ``spawn``.
+    """
+    name, scale, seed, cache_dir = task
+    if cache_dir is not None and get_default_cache() is None:
+        set_default_cache(FeatureCache(cache_dir))
+    start = time.perf_counter()
+    output = EXPERIMENTS_BY_NAME[name].run(scale=scale, seed=seed)
+    output.data["elapsed_seconds"] = time.perf_counter() - start
+    return output
+
 
 def run_all(
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
     only: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> dict[str, ExperimentOutput]:
-    """Run all (or the named) experiments; returns outputs by name."""
-    outputs: dict[str, ExperimentOutput] = {}
-    for name, module in ALL_EXPERIMENTS:
-        if only is not None and name not in only:
-            continue
-        start = time.perf_counter()
-        outputs[name] = module.run(scale=scale, seed=seed)
-        outputs[name].data["elapsed_seconds"] = time.perf_counter() - start
-    return outputs
+    """Run all (or the named) experiments; returns outputs by name.
+
+    ``jobs > 1`` distributes whole experiments over a process pool;
+    fold-level ``--jobs`` (inside a single experiment) is for direct
+    ``python -m repro.experiments.tableN`` runs, to avoid nesting pools.
+    """
+    names = [
+        name
+        for name, _module in ALL_EXPERIMENTS
+        if only is None or name in only
+    ]
+    cache = get_default_cache()
+    cache_dir = str(cache.root) if cache is not None else None
+    if jobs is not None and jobs != 1 and len(names) > 1:
+        # Warm the process-local suite cache before the pool forks so
+        # workers inherit the built designs instead of rebuilding them.
+        get_suite(scale)
+    tasks = [(name, scale, seed, cache_dir) for name in names]
+    outputs = parallel_map(_run_one, tasks, jobs=jobs)
+    return dict(zip(names, outputs))
 
 
-def main() -> None:
+def render_report(
+    outputs: dict[str, ExperimentOutput], timings: bool = True
+) -> str:
+    """The combined multi-section report.
+
+    ``timings=False`` omits the per-section elapsed stamps: that is the
+    form written to ``--out`` files, so serial and parallel runs of the
+    same seed produce byte-identical documents.
+    """
+    sections = []
+    for name, output in outputs.items():
+        if timings:
+            elapsed = output.data.get("elapsed_seconds", 0.0)
+            sections.append(
+                f"## {name} (elapsed {elapsed:.1f}s)\n\n{output.report}"
+            )
+        else:
+            sections.append(f"## {name}\n\n{output.report}")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> None:
     """CLI entry point: run experiments and print/save the report."""
     parser = argparse.ArgumentParser(description="Run all paper experiments")
-    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--scale", type=positive_scale, default=DEFAULT_SCALE)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--only", nargs="*", default=None)
     parser.add_argument("--out", type=str, default=None)
-    args = parser.parse_args()
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool workers for independent experiments (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk feature cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="feature cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-splitmfg/features)",
+    )
+    args = parser.parse_args(argv)
+    if not args.no_cache:
+        set_default_cache(FeatureCache(args.cache_dir or default_cache_dir()))
     outputs = run_all(
         scale=args.scale,
         seed=args.seed,
         only=tuple(args.only) if args.only else None,
+        jobs=args.jobs,
     )
-    sections = []
-    for name, output in outputs.items():
-        elapsed = output.data.get("elapsed_seconds", 0.0)
-        sections.append(f"## {name} (elapsed {elapsed:.1f}s)\n\n{output.report}")
-    text = "\n\n".join(sections)
     if args.out:
         with open(args.out, "w") as handle:
-            handle.write(text + "\n")
-    print(text)
+            handle.write(render_report(outputs, timings=False) + "\n")
+    print(render_report(outputs, timings=True))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ configuration then reports
 * accuracy at the baseline's ``|LoC|``,
 
 exactly the two aligned columns of the paper's Table I.
+
+Each (layer, fold) is an independent task routed through
+``repro.runtime.parallel_map``; fold seeds come from
+``common.fold_seeds`` so ``--jobs N`` reproduces serial output exactly.
 """
 
 from __future__ import annotations
@@ -16,46 +20,67 @@ import numpy as np
 
 from ..attack.baselines import PriorWorkAttack
 from ..attack.config import IMP_7, IMP_9, IMP_11, ML_9, AttackConfig
-from ..attack.framework import evaluate_attack, loo_folds, train_attack
+from ..attack.framework import evaluate_attack, train_attack
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from ..runtime import parallel_map
+from .common import (
+    DEFAULT_JOBS,
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    fold_seeds,
+    get_views,
+    standard_cli,
+)
 
 CONFIGS: tuple[AttackConfig, ...] = (ML_9, IMP_9, IMP_7, IMP_11)
 DEFAULT_LAYERS: tuple[int, ...] = (8, 6, 4)
 BASELINE_MARGIN = 1.5
 
 
+def _fold_row(task) -> dict:
+    """One (layer, fold) unit: baseline plus every ML configuration."""
+    layer, views, fold, fold_seed = task
+    test_view = views[fold]
+    training_views = views[:fold] + views[fold + 1 :]
+    baseline = PriorWorkAttack().fit(training_views)
+    prior = baseline.evaluate(test_view, margin=BASELINE_MARGIN)
+    row: dict = {
+        "layer": layer,
+        "design": test_view.design_name,
+        "n_vpins": len(test_view),
+        "prior_loc": prior.mean_loc_size,
+        "prior_acc": prior.accuracy,
+    }
+    for config in CONFIGS:
+        trained = train_attack(config, training_views, seed=fold_seed)
+        result = evaluate_attack(trained, test_view)
+        row[f"{config.name}_loc"] = result.mean_loc_size_for_accuracy(
+            min(prior.accuracy, result.saturation_accuracy())
+        )
+        row[f"{config.name}_acc"] = result.accuracy_at_mean_loc_size(
+            prior.mean_loc_size
+        )
+    return row
+
+
 def run(
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
     layers: tuple[int, ...] = DEFAULT_LAYERS,
+    jobs: int = DEFAULT_JOBS,
 ) -> ExperimentOutput:
     """Regenerate Table I at ``scale`` (see module docstring)."""
+    tasks = []
+    for layer in layers:
+        views = get_views(layer, scale)
+        seeds = fold_seeds(seed, len(views))
+        for fold in range(len(views)):
+            tasks.append((layer, views, fold, seeds[fold]))
+    fold_rows = parallel_map(_fold_row, tasks, jobs=jobs)
     rows = []
     data: dict = {}
     for layer in layers:
-        views = get_views(layer, scale)
-        layer_rows = []
-        for fold, (test_view, training_views) in enumerate(loo_folds(views)):
-            baseline = PriorWorkAttack().fit(training_views)
-            prior = baseline.evaluate(test_view, margin=BASELINE_MARGIN)
-            row: dict = {
-                "layer": layer,
-                "design": test_view.design_name,
-                "n_vpins": len(test_view),
-                "prior_loc": prior.mean_loc_size,
-                "prior_acc": prior.accuracy,
-            }
-            for config in CONFIGS:
-                trained = train_attack(config, training_views, seed=seed + fold)
-                result = evaluate_attack(trained, test_view)
-                row[f"{config.name}_loc"] = result.mean_loc_size_for_accuracy(
-                    min(prior.accuracy, result.saturation_accuracy())
-                )
-                row[f"{config.name}_acc"] = result.accuracy_at_mean_loc_size(
-                    prior.mean_loc_size
-                )
-            layer_rows.append(row)
+        layer_rows = [row for row in fold_rows if row["layer"] == layer]
         data[layer] = layer_rows
         for row in layer_rows:
             rows.append(
@@ -110,4 +135,4 @@ def _mean_or_none(values: list) -> float | None:
 
 if __name__ == "__main__":
     args = standard_cli("Reproduce Table I")
-    print(run(scale=args.scale, seed=args.seed).report)
+    print(run(scale=args.scale, seed=args.seed, jobs=args.jobs).report)

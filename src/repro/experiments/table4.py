@@ -31,7 +31,13 @@ from ..attack.config import (
 )
 from ..attack.framework import run_loo
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_JOBS,
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    get_views,
+    standard_cli,
+)
 
 ACCURACY_GRID: tuple[float, ...] = (0.95, 0.90, 0.80, 0.50)
 FRACTION_GRID: tuple[float, ...] = (0.001, 0.01, 0.03, 0.10)
@@ -45,6 +51,7 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
     layers: tuple[int, ...] = DEFAULT_LAYERS,
+    jobs: int = DEFAULT_JOBS,
 ) -> ExperimentOutput:
     """Regenerate Table IV at ``scale`` (see module docstring)."""
     rows = []
@@ -56,7 +63,7 @@ def run(
             configs = BASE_CONFIGS + TOP_LAYER_EXTRA
         layer_data = {}
         for config in configs:
-            results = run_loo(config, views, seed=seed)
+            results = run_loo(config, views, seed=seed, jobs=jobs)
             fractions, accuracies = mean_curve(results)
             entry = {
                 "fraction_at_accuracy": {
@@ -103,4 +110,4 @@ def run(
 
 if __name__ == "__main__":
     args = standard_cli("Reproduce Table IV")
-    print(run(scale=args.scale, seed=args.seed).report)
+    print(run(scale=args.scale, seed=args.seed, jobs=args.jobs).report)

@@ -30,7 +30,13 @@ from ..attack.config import (
 from ..attack.framework import evaluate_attack, loo_folds, train_attack
 from ..attack.proximity import pa_success_rate, run_validated_pa
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    fold_seeds,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYERS: tuple[int, ...] = (8, 6, 4)
 BASE_CONFIGS: tuple[AttackConfig, ...] = (ML_9, IMP_9, IMP_7, IMP_11)
@@ -67,15 +73,16 @@ def run(
                 test_view
             )
         # Fixed-threshold [18] and validated PA per configuration.
+        seeds = fold_seeds(seed, len(views))
         for config in layer_configs:
             for fold, (test_view, training_views) in enumerate(loo_folds(views)):
-                trained = train_attack(config, training_views, seed=seed + fold)
+                trained = train_attack(config, training_views, seed=seeds[fold])
                 result = evaluate_attack(trained, test_view)
                 per_design[test_view.design_name][f"{config.name} t=0.5"] = (
                     pa_success_rate(result, threshold=0.5)
                 )
                 validated = run_validated_pa(
-                    config, views, views.index(test_view), seed=seed + fold
+                    config, views, views.index(test_view), seed=seeds[fold]
                 )
                 per_design[test_view.design_name][f"{config.name} valid."] = (
                     validated.success_rate

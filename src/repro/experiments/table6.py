@@ -15,7 +15,13 @@ from ..attack.config import IMP_11
 from ..attack.obfuscation import obfuscate_suite
 from ..attack.proximity import run_validated_pa
 from ..reporting import ascii_table, format_percent
-from .common import DEFAULT_SCALE, ExperimentOutput, get_views, standard_cli
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentOutput,
+    fold_seeds,
+    get_views,
+    standard_cli,
+)
 
 DEFAULT_LAYERS: tuple[int, ...] = (6, 4)
 NOISE_LEVELS: tuple[float, ...] = (0.0, 0.01, 0.02)
@@ -35,6 +41,7 @@ def run(
         per_design: dict[str, dict[float, float]] = {
             view.design_name: {} for view in clean_views
         }
+        seeds = fold_seeds(seed, len(clean_views))
         for noise in noise_levels:
             views = (
                 clean_views
@@ -43,7 +50,7 @@ def run(
             )
             for test_index, view in enumerate(views):
                 outcome = run_validated_pa(
-                    IMP_11, views, test_index, seed=seed + test_index
+                    IMP_11, views, test_index, seed=seeds[test_index]
                 )
                 per_design[view.design_name][noise] = outcome.success_rate
         for design, values in per_design.items():

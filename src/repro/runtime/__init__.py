@@ -1,0 +1,44 @@
+"""Execution layer: process pools, deterministic seeding, feature cache.
+
+``repro.runtime`` is the home of everything that decides *how* the
+attack pipeline runs, as opposed to *what* it computes:
+
+* :mod:`repro.runtime.pool` -- :func:`parallel_map` fans work out over a
+  ``ProcessPoolExecutor`` (``--jobs N`` on the CLIs) while preserving
+  input order, so parallel output is indistinguishable from serial;
+* :mod:`repro.runtime.seeding` -- :func:`spawn_seeds` derives per-fold
+  RNG seeds with ``np.random.SeedSequence.spawn``; derivation depends
+  only on ``(root seed, fold index)``, never on execution order, which
+  is what makes ``--jobs N`` bit-identical to ``--jobs 1``;
+* :mod:`repro.runtime.cache` -- :class:`FeatureCache` memoizes
+  featurized training/candidate matrices on disk, keyed by a content
+  hash of (design, split layer, feature set, neighborhood, alignment,
+  seed) plus a fingerprint of the featurization code, so stale entries
+  self-invalidate when the feature definitions change.
+"""
+
+from .cache import (
+    FeatureCache,
+    code_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+    hash_key,
+    set_default_cache,
+    view_content_hash,
+)
+from .pool import parallel_map, resolve_jobs
+from .seeding import spawn_seeds, spawn_seedsequences
+
+__all__ = [
+    "FeatureCache",
+    "code_fingerprint",
+    "default_cache_dir",
+    "get_default_cache",
+    "hash_key",
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_cache",
+    "spawn_seeds",
+    "spawn_seedsequences",
+    "view_content_hash",
+]

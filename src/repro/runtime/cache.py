@@ -1,0 +1,226 @@
+"""On-disk memoization of featurized matrices.
+
+Training-set assembly and candidate featurization dominate experiment
+wall time after the suite itself is built, and the very same matrices
+are recomputed by every table/figure that shares a (design, split layer,
+feature set, neighborhood, alignment, seed) combination -- within one
+``run_all`` invocation and across invocations.  :class:`FeatureCache`
+stores them as ``.npz`` files keyed by a content hash of all of those
+inputs *plus* a fingerprint of the featurization/sampling source code,
+so a code change silently invalidates every stale entry.
+
+Writes go through a temp file + ``os.replace`` so concurrent pool
+workers (or concurrent CLI runs) can never observe a half-written
+entry; two workers racing on the same key write identical bytes, so
+last-write-wins is harmless.
+
+The cache directory defaults to ``~/.cache/repro-splitmfg/features``
+and is overridden by the ``REPRO_CACHE_DIR`` environment variable or
+``--cache-dir`` on the CLIs.  Library calls never touch the disk unless
+a cache is passed explicitly or installed with
+:func:`set_default_cache` (the CLIs do the latter; ``--no-cache``
+opts out).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..splitmfg.split import SplitView
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Entries whose arrays exceed this many bytes are not written (a single
+#: full-scale all-pairs candidate matrix stays well under it; the cap
+#: only guards pathological blowups).
+MAX_ENTRY_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-splitmfg/features``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-splitmfg" / "features"
+
+
+_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the sources that determine cached matrix contents.
+
+    Covers pair featurization and sample generation; any edit to either
+    module changes every cache key, which is the invalidation story.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        from ..splitmfg import pair_features, sampling
+
+        digest = hashlib.sha256()
+        for module in (pair_features, sampling):
+            digest.update(inspect.getsource(module).encode())
+        _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
+
+
+def _update_digest(digest: "hashlib._Hash", part: Any) -> None:
+    """Feed one key part into the digest with an unambiguous encoding."""
+    if part is None:
+        digest.update(b"\x00N")
+    elif isinstance(part, bool):
+        digest.update(b"\x00B" + (b"1" if part else b"0"))
+    elif isinstance(part, int):
+        digest.update(b"\x00I" + str(part).encode())
+    elif isinstance(part, float):
+        digest.update(b"\x00F" + part.hex().encode())
+    elif isinstance(part, str):
+        digest.update(b"\x00S" + part.encode())
+    elif isinstance(part, np.ndarray):
+        digest.update(
+            b"\x00A" + str(part.dtype).encode() + str(part.shape).encode()
+        )
+        digest.update(np.ascontiguousarray(part).tobytes())
+    elif isinstance(part, (tuple, list)):
+        digest.update(b"\x00L" + str(len(part)).encode())
+        for item in part:
+            _update_digest(digest, item)
+    else:
+        raise TypeError(f"unhashable cache key part: {type(part).__name__}")
+
+
+def hash_key(*parts: Any) -> str:
+    """Stable hex key from heterogeneous parts (ints, floats, arrays...)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        _update_digest(digest, part)
+    return digest.hexdigest()
+
+
+def view_content_hash(view: "SplitView") -> str:
+    """Content hash of a split view (geometry, features, ground truth).
+
+    Memoized on the view instance; ``SplitView.invalidate_cache`` drops
+    it alongside the column arrays after in-place edits.
+    """
+    cached = getattr(view, "_content_hash", None)
+    if cached is not None:
+        return cached
+    arr = view.arrays()
+    pairs = view.match_pairs()
+    pair_array = (
+        np.array(pairs, dtype=np.int64)
+        if pairs
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    digest = hash_key(
+        "split-view",
+        view.design_name,
+        int(view.split_layer),
+        float(view.die_width),
+        float(view.die_height),
+        int(view.num_via_layers),
+        view.top_metal_direction,
+        sorted(arr),
+        [arr[name] for name in sorted(arr)],
+        pair_array,
+    )
+    try:
+        view._content_hash = digest
+    except AttributeError:  # exotic view stand-ins in tests
+        pass
+    return digest
+
+
+class FeatureCache:
+    """Directory of ``<key>.npz`` entries holding named float arrays."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """The stored arrays for ``key``, or ``None`` on a miss."""
+        try:
+            with np.load(self._path(key), allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def put(self, key: str, arrays: dict[str, np.ndarray]) -> bool:
+        """Atomically store ``arrays``; returns whether it was written."""
+        total = sum(np.asarray(a).nbytes for a in arrays.values())
+        if total > MAX_ENTRY_BYTES:
+            return False
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(temp_name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def entries(self) -> list[Path]:
+        """All entry files currently in the cache directory."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def total_bytes(self) -> int:
+        """Disk footprint of all entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_default_cache: FeatureCache | None = None
+
+
+def set_default_cache(cache: FeatureCache | str | Path | None) -> None:
+    """Install (or clear, with ``None``) the process-wide default cache."""
+    global _default_cache
+    if cache is not None and not isinstance(cache, FeatureCache):
+        cache = FeatureCache(cache)
+    _default_cache = cache
+
+
+def get_default_cache() -> FeatureCache | None:
+    """The process-wide default cache, if one was installed."""
+    return _default_cache

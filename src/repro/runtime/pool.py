@@ -1,0 +1,59 @@
+"""Order-preserving process-pool map for experiment fan-out.
+
+The one rule of this module: ``parallel_map(fn, items, jobs=N)`` returns
+exactly what ``[fn(x) for x in items]`` returns, in the same order, for
+every ``N``.  Determinism is the caller's job (see
+:mod:`repro.runtime.seeding`); order preservation and the serial
+fast path are this module's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None`` -> 1, ``<= 0`` -> all cores."""
+    if jobs is None:
+        return 1
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(f"jobs must be an integer, got {jobs!r}") from None
+    if jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (workers inherit warmed suite/view caches)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally on a process pool.
+
+    ``jobs <= 1`` (or a single item) runs serially in-process with no
+    executor overhead.  ``fn`` and every item must be picklable when
+    ``jobs > 1``; results come back in input order.
+    """
+    work: Sequence[T] = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    workers = min(jobs, len(work))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(fn, work))

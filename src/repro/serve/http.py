@@ -49,14 +49,37 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, document: dict[str, Any]) -> None:
         body = json.dumps(document).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up before (or while) we answered; there is
+            # nobody left to tell, and the handler thread must not die
+            # with a traceback over it.
+            self.close_connection = True
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    def _read_exact(self, length: int) -> bytes | None:
+        """Read exactly ``length`` body bytes, or ``None`` on early EOF.
+
+        ``rfile.read(n)`` on a socket may legally return fewer than ``n``
+        bytes (slow or chunk-dribbling clients); a single call would
+        truncate large challenge bodies into JSON parse errors.
+        """
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     # -- routes ---------------------------------------------------------
 
@@ -86,7 +109,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, "missing or oversized request body")
             return
         try:
-            request = json.loads(self.rfile.read(length))
+            body = self._read_exact(length)
+        except (ConnectionResetError, TimeoutError, OSError):
+            self.close_connection = True
+            return
+        if body is None:
+            self._send_error_json(400, "truncated request body")
+            return
+        try:
+            request = json.loads(body)
         except (json.JSONDecodeError, UnicodeDecodeError):
             self._send_error_json(400, "request body is not valid JSON")
             return

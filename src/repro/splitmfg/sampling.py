@@ -74,7 +74,10 @@ def random_negative_pairs(
     """Uniformly random non-matching, legal pairs (ML configurations).
 
     With an alignment flag (the "Y" configurations), the partner is drawn
-    from the v-pins sharing the first pick's aligned coordinate.
+    from the v-pins sharing the first pick's aligned coordinate.  Pairs
+    are canonicalized to ``i < j`` and never repeated: a "balanced"
+    training set with ``(i, j)`` and ``(j, i)`` (or the same pair twice)
+    would silently overweight duplicated negatives.
     """
     n = len(view)
     if n < 2 or count <= 0:
@@ -93,6 +96,7 @@ def random_negative_pairs(
         coords = arr["vy"] if y_aligned_only else arr["vx"]
         keys = np.round(coords[pool], 6)
         groups = {key: pool[keys == key] for key in np.unique(keys)}
+    seen: set[tuple[int, int]] = set()
     while len(out_i) < count and tries < limit:
         tries += 1
         i = int(pool[rng.integers(len(pool))])
@@ -108,8 +112,12 @@ def random_negative_pairs(
             continue
         if out_area[i] > 0 and out_area[j] > 0:
             continue
-        out_i.append(i)
-        out_j.append(j)
+        pair = (i, j) if i < j else (j, i)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        out_i.append(pair[0])
+        out_j.append(pair[1])
     return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
 
 
@@ -157,6 +165,12 @@ def neighborhood_fraction(
     for view in views:
         distances = view.match_distances()
         half_perimeter = view.die_width + view.die_height
+        if not (half_perimeter > 0):
+            raise ValueError(
+                f"view {view.design_name!r} has a degenerate die "
+                f"({view.die_width} x {view.die_height}): cannot normalize "
+                f"match distances by a non-positive half-perimeter"
+            )
         if len(distances):
             normalized.append(distances / half_perimeter)
     if not normalized:
@@ -167,7 +181,14 @@ def neighborhood_fraction(
 
 def neighborhood_radius(view: SplitView, fraction: float) -> float:
     """Rescale a normalized neighborhood fraction to this view's units."""
-    return fraction * (view.die_width + view.die_height)
+    half_perimeter = view.die_width + view.die_height
+    if not (half_perimeter > 0):
+        raise ValueError(
+            f"view {view.design_name!r} has a degenerate die "
+            f"({view.die_width} x {view.die_height}): the neighborhood "
+            f"radius is undefined for a non-positive half-perimeter"
+        )
+    return fraction * half_perimeter
 
 
 def neighborhood_negative_pairs(
@@ -184,6 +205,8 @@ def neighborhood_negative_pairs(
 
     With ``y_aligned_only`` (the "Y" configurations at the highest via
     layer) candidates must additionally share the v-pin y-coordinate.
+    As with :func:`random_negative_pairs`, emitted pairs are canonical
+    ``i < j`` and unique.
     """
     n = len(view)
     if n < 2 or count <= 0:
@@ -194,6 +217,7 @@ def neighborhood_negative_pairs(
     out_j: list[int] = []
     tries = 0
     limit = count * max_tries_factor
+    seen: set[tuple[int, int]] = set()
     neighbor_cache: dict[int, np.ndarray] = {}
     pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
     if len(pool) < 2:
@@ -220,8 +244,12 @@ def neighborhood_negative_pairs(
             continue
         if out_area[i] > 0 and out_area[j] > 0:
             continue
-        out_i.append(i)
-        out_j.append(j)
+        pair = (i, j) if i < j else (j, i)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        out_i.append(pair[0])
+        out_j.append(pair[1])
     return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
 
 

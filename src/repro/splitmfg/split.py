@@ -98,6 +98,7 @@ class SplitView:
 
     def __post_init__(self) -> None:
         self._arrays: dict[str, np.ndarray] | None = None
+        self._content_hash: str | None = None
 
     def __len__(self) -> int:
         return len(self.vpins)
@@ -147,6 +148,7 @@ class SplitView:
     def invalidate_cache(self) -> None:
         """Drop the cached arrays (after in-place edits, e.g. obfuscation)."""
         self._arrays = None
+        self._content_hash = None
 
     def match_pairs(self) -> list[tuple[int, int]]:
         """All ground-truth pairs ``(i, j)`` with ``i < j``."""

@@ -7,12 +7,30 @@ control build their own tiny designs instead.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.runtime import set_default_cache
 from repro.splitmfg.vpin_features import make_split_view
 from repro.synth.benchmarks import BENCHMARK_SPECS, build_benchmark
 
 TEST_SCALE = 0.15
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _redirect_feature_cache(tmp_path_factory):
+    """Keep CLI-installed feature caches inside the test session tmp dir."""
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("feature-cache"))
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_feature_cache():
+    """CLI commands install a process-global cache; never leak it."""
+    yield
+    set_default_cache(None)
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import common
-from repro.experiments.run_all import ALL_EXPERIMENTS, run_all
+from repro.experiments.run_all import ALL_EXPERIMENTS, render_report, run_all
 
 
 @pytest.fixture(autouse=True)
@@ -54,3 +54,23 @@ class TestRunAll:
     def test_unknown_name_is_ignored(self):
         outputs = run_all(scale=0.1, only=("nonexistent",))
         assert outputs == {}
+
+
+class TestParallelRunner:
+    ONLY = ("figure4", "figure8")  # cheap and timing-free
+
+    def test_jobs_report_bit_identical(self):
+        serial = run_all(scale=0.1, seed=0, only=self.ONLY, jobs=1)
+        parallel = run_all(scale=0.1, seed=0, only=self.ONLY, jobs=2)
+        assert render_report(serial, timings=False) == render_report(
+            parallel, timings=False
+        )
+
+    def test_jobs_zero_means_all_cores(self):
+        outputs = run_all(scale=0.1, seed=0, only=("figure4",), jobs=0)
+        assert set(outputs) == {"figure4"}
+
+    def test_timed_report_carries_elapsed(self):
+        outputs = run_all(scale=0.1, seed=0, only=("figure4",))
+        assert "elapsed" in render_report(outputs, timings=True)
+        assert "elapsed" not in render_report(outputs, timings=False)

@@ -1,0 +1,127 @@
+"""Tests for the on-disk feature cache (repro.runtime.cache)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FeatureCache,
+    code_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+    hash_key,
+    set_default_cache,
+    view_content_hash,
+)
+from repro.runtime.cache import ENV_CACHE_DIR
+
+
+class TestHashKey:
+    def test_deterministic(self):
+        key = hash_key("a", 1, 2.5, None, True, np.arange(4))
+        assert key == hash_key("a", 1, 2.5, None, True, np.arange(4))
+
+    def test_type_sensitive(self):
+        """1, 1.0, "1" and True must not collide."""
+        keys = {hash_key(1), hash_key(1.0), hash_key("1"), hash_key(True)}
+        assert len(keys) == 4
+
+    def test_array_content_and_shape(self):
+        flat = np.arange(6, dtype=float)
+        assert hash_key(flat) != hash_key(flat.reshape(2, 3))
+        changed = flat.copy()
+        changed[0] = 99.0
+        assert hash_key(flat) != hash_key(changed)
+
+    def test_nesting_unambiguous(self):
+        assert hash_key(["a", "b"], "c") != hash_key(["a"], ["b", "c"])
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            hash_key(object())
+
+
+class TestCodeFingerprint:
+    def test_stable_and_short(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestViewContentHash:
+    def test_stable_and_memoized(self, view8):
+        first = view_content_hash(view8)
+        assert view_content_hash(view8) == first
+        assert view8._content_hash == first
+
+    def test_differs_across_designs(self, views8):
+        hashes = {view_content_hash(v) for v in views8}
+        assert len(hashes) == len(views8)
+
+    def test_geometry_change_changes_hash(self, view8):
+        changed = dataclasses.replace(view8, die_width=view8.die_width + 1.0)
+        assert view_content_hash(changed) != view_content_hash(view8)
+
+    def test_invalidate_cache_drops_memo(self, view8):
+        view_content_hash(view8)
+        view8.invalidate_cache()
+        assert view8._content_hash is None
+        view_content_hash(view8)  # recomputes fine
+
+
+class TestFeatureCache:
+    def test_round_trip(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        arrays = {"X": np.random.default_rng(0).normal(size=(5, 3)), "i": np.arange(5)}
+        assert cache.get("k") is None
+        assert cache.put("k", arrays)
+        loaded = cache.get("k")
+        assert set(loaded) == {"X", "i"}
+        np.testing.assert_array_equal(loaded["X"], arrays["X"])
+        np.testing.assert_array_equal(loaded["i"], arrays["i"])
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_empty_arrays_round_trip(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("e", {"X": np.zeros((0, 9))})
+        assert cache.get("e")["X"].shape == (0, 9)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("k", {"X": np.ones(3)})
+        cache._path("k").write_bytes(b"not an npz")
+        assert cache.get("k") is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("a", {"X": np.ones(2)})
+        cache.put("b", {"X": np.ones(2)})
+        assert len(cache) == 2
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_oversized_entry_refused(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.runtime.cache.MAX_ENTRY_BYTES", 8)
+        cache = FeatureCache(tmp_path)
+        assert not cache.put("big", {"X": np.ones(100)})
+        assert len(cache) == 0
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = FeatureCache(tmp_path / "never-created")
+        assert cache.entries() == []
+        assert cache.get("k") is None
+
+
+class TestDefaults:
+    def test_env_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_set_default_cache_accepts_paths(self, tmp_path):
+        set_default_cache(tmp_path)
+        installed = get_default_cache()
+        assert isinstance(installed, FeatureCache)
+        assert installed.root == tmp_path
+        set_default_cache(None)
+        assert get_default_cache() is None

@@ -1,0 +1,66 @@
+"""Tests for the process-pool execution layer (repro.runtime.pool)."""
+
+import os
+
+import pytest
+
+from repro.runtime import parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_means_all_cores(self):
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+class TestParallelMap:
+    def test_serial_matches_map(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=2) == parallel_map(
+            _square, items, jobs=1
+        )
+
+    def test_order_preserved(self):
+        items = [5, 3, 8, 1]
+        assert parallel_map(_square, items, jobs=2) == [25, 9, 64, 1]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_single_item_stays_in_process(self):
+        assert parallel_map(_pid_of, ["only"], jobs=8) == [os.getpid()]
+
+    def test_serial_stays_in_process(self):
+        assert parallel_map(_pid_of, [1, 2], jobs=1) == [os.getpid()] * 2
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, [1, 2], jobs=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, [1], jobs=1)

@@ -1,0 +1,35 @@
+"""Tests for deterministic per-fold seed derivation (repro.runtime.seeding)."""
+
+import numpy as np
+
+from repro.runtime import spawn_seeds, spawn_seedsequences
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct_across_folds(self):
+        seeds = spawn_seeds(0, 32)
+        assert len(set(seeds)) == 32
+
+    def test_distinct_across_roots(self):
+        assert set(spawn_seeds(0, 8)).isdisjoint(spawn_seeds(1, 8))
+
+    def test_prefix_stable(self):
+        """Adding folds never reshuffles the seeds of existing folds."""
+        assert spawn_seeds(3, 10)[:4] == spawn_seeds(3, 4)
+
+    def test_seeds_are_valid_rng_inputs(self):
+        for seed in spawn_seeds(0, 4):
+            assert seed >= 0
+            np.random.default_rng(seed)  # must not raise
+
+    def test_sequences_match_seeds(self):
+        sequences = spawn_seedsequences(5, 3)
+        assert len(sequences) == 3
+        for sequence in sequences:
+            assert isinstance(sequence, np.random.SeedSequence)
+
+    def test_zero_folds(self):
+        assert spawn_seeds(0, 0) == []

@@ -1,7 +1,9 @@
 """Tests for the stdlib JSON API (repro.serve.http)."""
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -111,3 +113,80 @@ class TestErrors:
     def test_malformed_challenge_is_400(self, server):
         status, _ = _post(server, "/predict", {"challenge": {"bogus": 1}})
         assert status == 400
+
+
+def _raw_post(server, body, chunk_size=None, pause=0.0, truncate_at=None):
+    """POST over a raw socket, optionally dribbling or truncating the body.
+
+    Returns the raw response bytes (empty if the server just closed).
+    """
+    host, port = server.server_address[:2]
+    send = body if truncate_at is None else body[:truncate_at]
+    header = (
+        f"POST /predict HTTP/1.1\r\nHost: {host}:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(header)
+        if chunk_size is None:
+            sock.sendall(send)
+        else:
+            for start in range(0, len(send), chunk_size):
+                sock.sendall(send[start : start + chunk_size])
+                if pause:
+                    time.sleep(pause)
+        if truncate_at is not None:
+            sock.shutdown(socket.SHUT_WR)
+        response = b""
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+                if b"\r\n\r\n" in response:
+                    head, _, rest = response.partition(b"\r\n\r\n")
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            if len(rest) >= int(line.split(b":", 1)[1]):
+                                return response
+        except (TimeoutError, ConnectionResetError):
+            pass
+        return response
+
+
+class TestRobustness:
+    """Partial reads and hung-up clients must not break the server."""
+
+    def test_dribbled_body_is_read_completely(self, server, views6):
+        """A body arriving in many small chunks still parses as one JSON."""
+        body = json.dumps({"challenge": challenge_to_dict(views6[0])}).encode()
+        response = _raw_post(server, body, chunk_size=1024, pause=0.002)
+        assert response.startswith(b"HTTP/1.0 200") or response.startswith(
+            b"HTTP/1.1 200"
+        )
+        payload = json.loads(response.partition(b"\r\n\r\n")[2])
+        assert payload["design"] == views6[0].design_name
+
+    def test_truncated_body_is_400_not_hang(self, server, views6):
+        """EOF before Content-Length bytes yields a clean 400."""
+        body = json.dumps({"challenge": challenge_to_dict(views6[0])}).encode()
+        response = _raw_post(server, body, truncate_at=len(body) // 2)
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        assert b"truncated" in response
+
+    def test_client_disconnect_before_response(self, server, views6):
+        """Hanging up mid-request must not kill the server."""
+        host, port = server.server_address[:2]
+        body = json.dumps({"challenge": challenge_to_dict(views6[0])}).encode()
+        header = (
+            f"POST /predict HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        sock = socket.create_connection((host, port), timeout=30)
+        sock.sendall(header + body)
+        sock.close()  # walk away without reading the response
+        # The server must still answer the next request.
+        status, document = _get(server, "/health")
+        assert status == 200 and document["status"] == "ok"

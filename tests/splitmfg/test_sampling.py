@@ -1,5 +1,7 @@
 """Tests for sample generation and neighborhood machinery."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -56,6 +58,86 @@ class TestRandomNegativePairs:
         rng = np.random.default_rng(0)
         i, j = random_negative_pairs(view8, 0, rng)
         assert len(i) == len(j) == 0
+
+
+def _half_mask(view):
+    allowed = np.zeros(len(view), dtype=bool)
+    allowed[: max(2, len(view) // 2)] = True
+    return allowed
+
+
+class TestNegativePairProperties:
+    """Every sampler emission is a unique, canonical, legal negative.
+
+    Exercises the full grid of alignment flags and allowed masks for both
+    the uniform and the neighborhood sampler: a duplicated or mirrored
+    ``(j, i)`` emission would silently overweight negatives in the
+    "balanced" training set.
+    """
+
+    ALIGNMENTS = [
+        {},
+        {"y_aligned_only": True},
+        {"x_aligned_only": True},
+    ]
+
+    def _check(self, view, i, j):
+        arr = view.arrays()
+        pairs = list(zip(i.tolist(), j.tolist()))
+        assert all(a < b for a, b in pairs), "pairs must be canonical i < j"
+        assert len(set(pairs)) == len(pairs), "pairs must be unique"
+        for a, b in pairs:
+            assert b not in view.vpins[a].matches
+            assert not (arr["out_area"][a] > 0 and arr["out_area"][b] > 0)
+
+    @pytest.mark.parametrize("alignment", ALIGNMENTS, ids=["free", "y", "x"])
+    @pytest.mark.parametrize("masked", [False, True], ids=["all", "masked"])
+    def test_random_negatives(self, view8, alignment, masked):
+        rng = np.random.default_rng(10)
+        allowed = _half_mask(view8) if masked else None
+        i, j = random_negative_pairs(view8, 60, rng, allowed=allowed, **alignment)
+        self._check(view8, i, j)
+        if allowed is not None and len(i):
+            assert allowed[i].all() and allowed[j].all()
+
+    @pytest.mark.parametrize("alignment", ALIGNMENTS, ids=["free", "y", "x"])
+    @pytest.mark.parametrize("masked", [False, True], ids=["all", "masked"])
+    def test_neighborhood_negatives(self, view8, alignment, masked):
+        rng = np.random.default_rng(11)
+        index = NeighborhoodIndex(view8, 0.4 * view8.half_perimeter)
+        allowed = _half_mask(view8) if masked else None
+        i, j = neighborhood_negative_pairs(
+            view8, 60, index, rng, allowed=allowed, **alignment
+        )
+        self._check(view8, i, j)
+        if allowed is not None and len(i):
+            assert allowed[i].all() and allowed[j].all()
+
+    def test_count_capped_by_distinct_pairs(self, view8):
+        """Asking for more negatives than exist terminates with unique pairs."""
+        rng = np.random.default_rng(12)
+        allowed = np.zeros(len(view8), dtype=bool)
+        allowed[:4] = True
+        i, j = random_negative_pairs(view8, 1000, rng, allowed=allowed)
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert len(pairs) == len(i) <= 6  # C(4, 2) minus matches/illegal
+
+
+class TestDegenerateDie:
+    def test_neighborhood_fraction_rejects_zero_half_perimeter(self, views8):
+        flat = dataclasses.replace(views8[0], die_width=0.0, die_height=0.0)
+        with pytest.raises(ValueError, match="degenerate die"):
+            neighborhood_fraction([flat] + list(views8[1:]))
+
+    def test_neighborhood_radius_rejects_zero_half_perimeter(self, view8):
+        flat = dataclasses.replace(view8, die_width=0.0, die_height=0.0)
+        with pytest.raises(ValueError, match="degenerate die"):
+            neighborhood_radius(flat, 0.1)
+
+    def test_negative_half_perimeter_also_rejected(self, view8):
+        warped = dataclasses.replace(view8, die_width=-5.0, die_height=2.0)
+        with pytest.raises(ValueError, match="degenerate die"):
+            neighborhood_radius(warped, 0.1)
 
 
 class TestNeighborhood:
