@@ -4,9 +4,21 @@ The per-table/figure benches run the same experiment code as
 ``repro.experiments`` at a reduced scale; `--benchmark-only` runs measure
 wall-clock per experiment, which is how the repository reports the
 paper's runtime columns (ratios, not absolute hours -- see DESIGN.md).
+
+Every benchmark run also appends a machine-readable record per test to
+``BENCH_<date>.json`` at the repository root (override the path with
+``$REPRO_BENCH_JSON``): suite, case, wall seconds, and throughput
+(runs/second).  These files are the repository's performance
+trajectory -- commit them so regressions across PRs are diffable.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
 
 import pytest
 
@@ -14,6 +26,127 @@ from repro.experiments import common
 
 #: Scale used by all experiment benches (full runs use run_all --scale).
 BENCH_SCALE = 0.12
+
+#: Environment variable overriding where benchmark records are written.
+ENV_BENCH_JSON = "REPRO_BENCH_JSON"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_records: list[dict] = []
+
+
+def bench_json_path() -> Path:
+    """``$REPRO_BENCH_JSON`` or ``<repo>/BENCH_<YYYY-MM-DD>.json``."""
+    env = os.environ.get(ENV_BENCH_JSON)
+    if env:
+        return Path(env)
+    return _REPO_ROOT / f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+
+
+def make_record(
+    suite: str, case: str, wall_s: float, rounds: int = 1
+) -> dict:
+    """One benchmark result row (see OBSERVABILITY.md for the schema)."""
+    return {
+        "suite": suite,
+        "case": case,
+        "wall_s": round(wall_s, 6),
+        "throughput_per_s": round(1.0 / wall_s, 6) if wall_s > 0 else None,
+        "rounds": rounds,
+        "recorded_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def append_records(path: Path, records: list[dict]) -> list[dict]:
+    """Append ``records`` to the JSON list at ``path`` (atomic rewrite).
+
+    A missing or unparseable file starts a fresh list -- the trajectory
+    must never make a benchmark run fail.
+    """
+    existing: list[dict] = []
+    try:
+        with open(path) as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, list):
+            existing = loaded
+    except (OSError, ValueError):
+        pass
+    merged = existing + records
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(merged, handle, indent=2)
+            handle.write("\n")
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+    return merged
+
+
+def _benchmark_mean(fixture, fallback: float) -> tuple[float, int]:
+    """Mean seconds (and rounds) from pytest-benchmark when available.
+
+    Reaches into the plugin's fixture defensively: the recorder must
+    keep working across plugin versions (or fall back to the measured
+    wall time when the stats are not populated).
+    """
+    stats = getattr(fixture, "stats", None)
+    inner = getattr(stats, "stats", None)
+    mean = getattr(inner, "mean", None)
+    rounds = getattr(inner, "rounds", None) or 1
+    if mean:
+        return float(mean), int(rounds)
+    return fallback, 1
+
+
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's report on the item for the recorder fixture."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"rep_{report.when}", report)
+
+
+@pytest.fixture(autouse=True)
+def _bench_recorder(request):
+    """Collect one timing record per passing benchmark test."""
+    # Grab the fixture object up front: at teardown time it has already
+    # been finalized and ``getfixturevalue`` would refuse to serve it.
+    fixture = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    start = time.perf_counter()
+    yield
+    wall = time.perf_counter() - start
+    report = getattr(request.node, "rep_call", None)
+    if report is None or not report.passed:
+        return
+    if fixture is None:
+        return
+    mean, rounds = _benchmark_mean(fixture, wall)
+    _records.append(
+        make_record(
+            suite=request.module.__name__,
+            case=request.node.name,
+            wall_s=mean,
+            rounds=rounds,
+        )
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush collected records into the dated trajectory file."""
+    if _records:
+        append_records(bench_json_path(), list(_records))
+        _records.clear()
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,9 @@ import numpy as np
 
 from ..ml.bagging import Bagging
 from ..ml.tree import RandomTree
+from ..obs.logging import get_logger
+from ..obs.metrics import counter
+from ..obs.trace import span
 from ..runtime import (
     FeatureCache,
     code_fingerprint,
@@ -46,6 +49,8 @@ from .config import AttackConfig
 from .result import AttackResult
 
 DEFAULT_CHUNK_SIZE = 400_000
+
+logger = get_logger("attack.framework")
 
 
 def make_classifier(config: AttackConfig, seed: int) -> Bagging:
@@ -127,39 +132,58 @@ def train_attack(
     start = time.perf_counter()
     if cache is None:
         cache = get_default_cache()
-    sample_sequence, model_sequence = np.random.SeedSequence(seed).spawn(2)
-    axis = _limit_axis(config, training_views)
-    fraction = (
-        neighborhood_fraction(training_views, config.neighborhood_percentile)
-        if config.scalable
-        else None
-    )
-    key: str | None = None
-    training_set: TrainingSet | None = None
-    if cache is not None:
-        key = _training_set_key(
-            config, training_views, fraction, axis, seed, allowed
+    with span("train", config=config.name, n_views=len(training_views)) as outer:
+        sample_sequence, model_sequence = np.random.SeedSequence(seed).spawn(2)
+        axis = _limit_axis(config, training_views)
+        fraction = (
+            neighborhood_fraction(training_views, config.neighborhood_percentile)
+            if config.scalable
+            else None
         )
-        stored = cache.get(key)
-        if stored is not None:
-            training_set = TrainingSet(
-                X=stored["X"], y=stored["y"], features=config.features
+        key: str | None = None
+        training_set: TrainingSet | None = None
+        with span("build_training_set") as build:
+            if cache is not None:
+                key = _training_set_key(
+                    config, training_views, fraction, axis, seed, allowed
+                )
+                stored = cache.get(key)
+                if stored is not None:
+                    training_set = TrainingSet(
+                        X=stored["X"], y=stored["y"], features=config.features
+                    )
+            source = "cache"
+            if training_set is None:
+                source = "featurized"
+                training_set = build_training_set(
+                    training_views,
+                    config.features,
+                    np.random.default_rng(sample_sequence),
+                    neighborhood=fraction,
+                    y_aligned_only=axis == "y",
+                    x_aligned_only=axis == "x",
+                    allowed=allowed,
+                )
+                counter("pairs_featurized").inc(training_set.n_samples)
+                if cache is not None and key is not None:
+                    cache.put(key, {"X": training_set.X, "y": training_set.y})
+            build.set(source=source, n_samples=training_set.n_samples)
+        with span("fit", n_estimators=config.n_estimators):
+            model_seed = int(
+                np.random.default_rng(model_sequence).integers(2**63)
             )
-    if training_set is None:
-        training_set = build_training_set(
-            training_views,
-            config.features,
-            np.random.default_rng(sample_sequence),
-            neighborhood=fraction,
-            y_aligned_only=axis == "y",
-            x_aligned_only=axis == "x",
-            allowed=allowed,
+            model = make_classifier(config, seed=model_seed)
+            model.fit(training_set.X, training_set.y)
+        outer.set(n_samples=training_set.n_samples)
+        logger.debug(
+            "trained %s",
+            config.name,
+            extra={
+                "config": config.name,
+                "n_samples": training_set.n_samples,
+                "training_set": source,
+            },
         )
-        if cache is not None and key is not None:
-            cache.put(key, {"X": training_set.X, "y": training_set.y})
-    model_seed = int(np.random.default_rng(model_sequence).integers(2**63))
-    model = make_classifier(config, seed=model_seed)
-    model.fit(training_set.X, training_set.y)
     return TrainedAttack(
         config=config,
         model=model,
@@ -225,64 +249,81 @@ def evaluate_attack(
     start = time.perf_counter()
     if cache is None:
         cache = get_default_cache()
-    key = _candidate_key(trained, view) if cache is not None else None
-    stored = cache.get(key) if cache is not None and key is not None else None
-    out_i: list[np.ndarray] = []
-    out_j: list[np.ndarray] = []
-    out_p: list[np.ndarray] = []
-    out_X: list[np.ndarray] = []
-    n_evaluated = 0
-    if stored is not None:
-        pair_i = stored["i"]
-        pair_j = stored["j"]
-        X_all = stored["X"]
-        for begin in range(0, len(pair_i), chunk_size):
-            out_p.append(
-                trained.model.predict_proba(X_all[begin : begin + chunk_size])
-            )
-        prob = np.concatenate(out_p) if out_p else np.zeros(0)
-        n_evaluated = len(pair_i)
-    else:
-        arr = view.arrays()
-        for i, j in _candidate_chunks(trained, view, chunk_size):
-            if trained.limit_axis == "y":
-                aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
-                i, j = i[aligned], j[aligned]
-            elif trained.limit_axis == "x":
-                aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
-                i, j = i[aligned], j[aligned]
-            if len(i) == 0:
-                continue
-            X = compute_pair_features(view, i, j, trained.config.features)
-            p = trained.model.predict_proba(X)
-            n_evaluated += len(i)
-            out_i.append(i)
-            out_j.append(j)
-            out_p.append(p)
-            if key is not None:
-                out_X.append(X)
-        if out_i:
-            pair_i = np.concatenate(out_i)
-            pair_j = np.concatenate(out_j)
-            prob = np.concatenate(out_p)
+    with span(
+        "evaluate", design=view.design_name, config=trained.config.name
+    ) as outer:
+        key = _candidate_key(trained, view) if cache is not None else None
+        stored = (
+            cache.get(key) if cache is not None and key is not None else None
+        )
+        out_i: list[np.ndarray] = []
+        out_j: list[np.ndarray] = []
+        out_p: list[np.ndarray] = []
+        out_X: list[np.ndarray] = []
+        n_evaluated = 0
+        if stored is not None:
+            pair_i = stored["i"]
+            pair_j = stored["j"]
+            X_all = stored["X"]
+            with span("score", candidates="cache"):
+                for begin in range(0, len(pair_i), chunk_size):
+                    out_p.append(
+                        trained.model.predict_proba(
+                            X_all[begin : begin + chunk_size]
+                        )
+                    )
+            prob = np.concatenate(out_p) if out_p else np.zeros(0)
+            n_evaluated = len(pair_i)
         else:
-            pair_i = np.zeros(0, dtype=int)
-            pair_j = np.zeros(0, dtype=int)
-            prob = np.zeros(0)
-        if cache is not None and key is not None:
-            n_features = len(trained.config.features)
-            cache.put(
-                key,
-                {
-                    "i": pair_i,
-                    "j": pair_j,
-                    "X": (
-                        np.vstack(out_X)
-                        if out_X
-                        else np.zeros((0, n_features))
-                    ),
-                },
-            )
+            arr = view.arrays()
+            with span("score", candidates="featurized"):
+                for i, j in _candidate_chunks(trained, view, chunk_size):
+                    if trained.limit_axis == "y":
+                        aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
+                        i, j = i[aligned], j[aligned]
+                    elif trained.limit_axis == "x":
+                        aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
+                        i, j = i[aligned], j[aligned]
+                    if len(i) == 0:
+                        continue
+                    X = compute_pair_features(view, i, j, trained.config.features)
+                    p = trained.model.predict_proba(X)
+                    n_evaluated += len(i)
+                    out_i.append(i)
+                    out_j.append(j)
+                    out_p.append(p)
+                    if key is not None:
+                        out_X.append(X)
+            counter("pairs_featurized").inc(n_evaluated)
+            if out_i:
+                pair_i = np.concatenate(out_i)
+                pair_j = np.concatenate(out_j)
+                prob = np.concatenate(out_p)
+            else:
+                pair_i = np.zeros(0, dtype=int)
+                pair_j = np.zeros(0, dtype=int)
+                prob = np.zeros(0)
+            if cache is not None and key is not None:
+                n_features = len(trained.config.features)
+                cache.put(
+                    key,
+                    {
+                        "i": pair_i,
+                        "j": pair_j,
+                        "X": (
+                            np.vstack(out_X)
+                            if out_X
+                            else np.zeros((0, n_features))
+                        ),
+                    },
+                )
+        counter("candidates_scored").inc(n_evaluated)
+        outer.set(n_pairs=n_evaluated)
+        logger.debug(
+            "evaluated %s",
+            view.design_name,
+            extra={"design": view.design_name, "n_pairs": n_evaluated},
+        )
     return AttackResult(
         view=view,
         pair_i=pair_i,
@@ -310,8 +351,15 @@ def _run_loo_fold(
     config, views, fold, fold_seed, chunk_size, cache = task
     test_view = views[fold]
     training_views = views[:fold] + views[fold + 1 :]
-    trained = train_attack(config, training_views, seed=fold_seed, cache=cache)
-    return evaluate_attack(trained, test_view, chunk_size, cache=cache)
+    with span(
+        "fold", fold=fold, design=test_view.design_name, config=config.name
+    ):
+        trained = train_attack(
+            config, training_views, seed=fold_seed, cache=cache
+        )
+        result = evaluate_attack(trained, test_view, chunk_size, cache=cache)
+    counter("folds_completed").inc()
+    return result
 
 
 def run_loo(
@@ -337,4 +385,5 @@ def run_loo(
         (config, views, fold, seeds[fold], chunk_size, cache)
         for fold in range(len(views))
     ]
-    return parallel_map(_run_loo_fold, tasks, jobs=jobs)
+    with span("loo", config=config.name, n_folds=len(views), jobs=jobs):
+        return parallel_map(_run_loo_fold, tasks, jobs=jobs)

@@ -12,12 +12,19 @@ Commands:
 * ``predict``  -- score a public challenge file with a registry model;
 * ``serve``    -- serve registry models over a JSON HTTP API;
 * ``models``   -- list the models in a registry;
-* ``cache``    -- inspect or clear the on-disk feature cache.
+* ``cache``    -- inspect (``stats``/``list``) or ``clear`` the on-disk
+  feature cache.
 
 ``attack``, ``experiments``, and its alias ``run-all`` accept ``--jobs N``
 (process-pool parallelism over folds/experiments; bit-identical to
 serial) and ``--no-cache``/``--cache-dir`` controlling the feature
 memoization cache (see ``repro.runtime``).
+
+Observability (``repro.obs``): the global ``--log-level``/``--log-json``
+flags (or ``REPRO_LOG_*`` env vars) configure structured logging to
+stderr; ``experiments``/``run-all`` write a run manifest under
+``results/runs/`` unless ``--no-manifest`` is given; the ``serve`` API
+exposes ``GET /metrics``.  None of it changes report bytes.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import sys
 from pathlib import Path
 
 from .experiments.common import positive_scale
+from .obs.logging import configure_logging
 
 
 def _configure_cache(args: argparse.Namespace) -> None:
@@ -39,6 +47,15 @@ def _configure_cache(args: argparse.Namespace) -> None:
     set_default_cache(
         FeatureCache(getattr(args, "cache_dir", None) or default_cache_dir())
     )
+
+
+def _flush_default_cache_stats() -> None:
+    """Persist this run's cache counters into the cache-dir sidecar."""
+    from .runtime import flush_cache_stats, get_default_cache
+
+    cache = get_default_cache()
+    if cache is not None:
+        flush_cache_stats(cache)
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +146,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     designs = build_suite(scale=args.scale)
     views = [make_split_view(d, args.layer) for d in designs]
     results = run_loo(config, views, seed=args.seed, jobs=args.jobs)
+    _flush_default_cache_stats()
     rows = [
         [
             r.view.design_name,
@@ -243,7 +261,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.quiet = args.quiet
     host, port = server.server_address[:2]
     print(f"serving {len(service.models())} model(s) on http://{host}:{port}")
-    print("endpoints: GET /health, GET /models, POST /predict")
+    print("endpoints: GET /health, GET /models, GET /metrics, POST /predict")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -287,9 +305,16 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments.run_all import render_report, run_all
+    from .experiments.run_all import (
+        build_run_manifest,
+        render_report,
+        run_all,
+    )
+    from .obs.manifest import write_manifest
+    from .obs.trace import drain_spans
 
     _configure_cache(args)
+    drain_spans()  # the manifest should only carry this run's spans
     outputs = run_all(
         scale=args.scale,
         seed=args.seed,
@@ -299,24 +324,59 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(render_report(outputs, timings=False) + "\n")
+    if not args.no_manifest:
+        manifest = build_run_manifest(
+            outputs,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            only=tuple(args.only) if args.only else None,
+            command="experiments",
+        )
+        path = write_manifest(manifest, args.manifest_dir)
+        print(f"run manifest -> {path}", file=sys.stderr)
+    else:
+        _flush_default_cache_stats()
     for name, output in outputs.items():
         print(f"\n## {name}\n")
         print(output.report)
     return 0
 
 
+def _format_bytes(n: int | float) -> str:
+    return f"{n / 1e6:.1f} MB"
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .runtime import FeatureCache, default_cache_dir
+    from .runtime import FeatureCache, default_cache_dir, flush_cache_stats
 
     cache = FeatureCache(args.cache_dir or default_cache_dir())
-    if args.clear:
+    action = "clear" if args.clear else args.action
+    if action == "clear":
         removed = cache.clear()
+        flush_cache_stats(cache)
         print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
         return 0
+    if action == "list":
+        for path in cache.entries():
+            print(f"{path.stat().st_size:>12}  {path.name}")
+        print(f"{len(cache)} entries, {_format_bytes(cache.total_bytes())}")
+        return 0
+    # stats (the default): live footprint plus the lifetime sidecar.
+    totals = cache.persisted_stats()
     print(
         f"{cache.root}: {len(cache)} entries, "
-        f"{cache.total_bytes() / 1e6:.1f} MB"
+        f"{_format_bytes(cache.total_bytes())}"
+    )
+    print(
+        f"lifetime: {totals['hits']} hits, {totals['misses']} misses, "
+        f"{totals['puts']} puts ({totals['put_rejected']} rejected), "
+        f"{totals['evicted']} evicted"
+    )
+    print(
+        f"traffic: {_format_bytes(totals['hit_bytes'])} served from cache, "
+        f"{_format_bytes(totals['put_bytes'])} written"
     )
     return 0
 
@@ -326,6 +386,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ML attacks on split manufacturing (paper reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="log level for stderr diagnostics (default: $REPRO_LOG_LEVEL "
+        "or WARNING)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit JSON-lines logs instead of the human format "
+        "(default: $REPRO_LOG_JSON)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -386,12 +458,34 @@ def build_parser() -> argparse.ArgumentParser:
             help="process-pool workers for independent experiments "
             "(0 = all cores)",
         )
+        experiments.add_argument(
+            "--manifest-dir",
+            default="results/runs",
+            help="directory for the run manifest (default: results/runs)",
+        )
+        experiments.add_argument(
+            "--no-manifest",
+            action="store_true",
+            help="do not write a run manifest",
+        )
         _add_cache_arguments(experiments)
         experiments.set_defaults(func=_cmd_experiments)
 
-    cache = sub.add_parser("cache", help="inspect or clear the feature cache")
+    cache = sub.add_parser(
+        "cache", help="inspect (stats/list) or clear the feature cache"
+    )
+    cache.add_argument(
+        "action",
+        nargs="?",
+        choices=("stats", "list", "clear"),
+        default="stats",
+        help="stats: footprint + lifetime hit/miss counters (default); "
+        "list: entry listing; clear: delete every entry",
+    )
     cache.add_argument("--cache-dir", default=None)
-    cache.add_argument("--clear", action="store_true")
+    cache.add_argument(
+        "--clear", action="store_true", help="alias for the 'clear' action"
+    )
     cache.set_defaults(func=_cmd_cache)
 
     train_model = sub.add_parser(
@@ -448,6 +542,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        level=args.log_level, json_lines=args.log_json or None
+    )
     return args.func(args)
 
 

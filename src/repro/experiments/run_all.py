@@ -9,14 +9,40 @@ out over a process pool (``repro.runtime.parallel_map``).  Every
 experiment seeds itself from ``(seed, fold)`` alone, so the combined
 output is bit-identical for every ``N`` -- only the ``elapsed`` stamps
 (which never enter ``--out`` files) differ.
+
+Each invocation also writes a **run manifest**
+(``results/runs/<timestamp>-<id>.json`` by default, ``--no-manifest``
+to skip): the configuration, root seed, package versions, per-experiment
+span trees (merged from pool workers), the metrics snapshot, and the
+feature-cache statistics.  The manifest is observability output only --
+the report text never depends on it.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import sys
 import time
+from pathlib import Path
+from typing import Any
 
-from ..runtime import FeatureCache, default_cache_dir, get_default_cache, parallel_map, set_default_cache
+from ..obs.logging import configure_logging
+from ..obs.manifest import (
+    DEFAULT_MANIFEST_DIR,
+    build_manifest,
+    write_manifest,
+)
+from ..obs.metrics import counter, get_registry
+from ..obs.trace import drain_spans, span
+from ..runtime import (
+    FeatureCache,
+    default_cache_dir,
+    flush_cache_stats,
+    get_default_cache,
+    parallel_map,
+    set_default_cache,
+)
 from . import (
     ablation_calibration,
     ablation_neighborhood,
@@ -77,7 +103,9 @@ def _run_one(task: tuple[str, float, int, str | None]) -> ExperimentOutput:
     if cache_dir is not None and get_default_cache() is None:
         set_default_cache(FeatureCache(cache_dir))
     start = time.perf_counter()
-    output = EXPERIMENTS_BY_NAME[name].run(scale=scale, seed=seed)
+    with span("experiment", name=name, scale=scale, seed=seed):
+        output = EXPERIMENTS_BY_NAME[name].run(scale=scale, seed=seed)
+    counter("experiments_completed").inc()
     output.data["elapsed_seconds"] = time.perf_counter() - start
     return output
 
@@ -106,7 +134,8 @@ def run_all(
         # workers inherit the built designs instead of rebuilding them.
         get_suite(scale)
     tasks = [(name, scale, seed, cache_dir) for name in names]
-    outputs = parallel_map(_run_one, tasks, jobs=jobs)
+    with span("run_all", scale=scale, seed=seed, jobs=jobs, n=len(names)):
+        outputs = parallel_map(_run_one, tasks, jobs=jobs)
     return dict(zip(names, outputs))
 
 
@@ -129,6 +158,59 @@ def render_report(
         else:
             sections.append(f"## {name}\n\n{output.report}")
     return "\n\n".join(sections)
+
+
+def build_run_manifest(
+    outputs: dict[str, ExperimentOutput],
+    scale: float,
+    seed: int,
+    jobs: int,
+    only: tuple[str, ...] | None = None,
+    command: str = "run_all",
+) -> dict[str, Any]:
+    """Assemble the run manifest for one ``run_all`` invocation.
+
+    Collects the span trees accumulated since the last drain, the
+    metrics registry snapshot (including merged pool-worker counts),
+    and the feature-cache statistics (flushing the lifetime sidecar as
+    a side effect).  Per-experiment entries carry the elapsed time and
+    a SHA-256 of the report section, so two manifests can prove their
+    reports were byte-identical without storing the text twice.
+    """
+    experiments = {
+        name: {
+            "elapsed_seconds": round(
+                output.data.get("elapsed_seconds", 0.0), 6
+            ),
+            "report_sha256": hashlib.sha256(
+                output.report.encode()
+            ).hexdigest(),
+        }
+        for name, output in outputs.items()
+    }
+    cache = get_default_cache()
+    cache_document = None
+    if cache is not None:
+        cache_document = cache.stats()
+        cache_document["lifetime"] = flush_cache_stats(cache)
+    return build_manifest(
+        command=command,
+        config={
+            "scale": scale,
+            "seed": seed,
+            "jobs": jobs,
+            "only": list(only) if only else None,
+            "cache_dir": str(cache.root) if cache is not None else None,
+        },
+        seeds={
+            "root": seed,
+            "derivation": "np.random.SeedSequence(root).spawn per fold",
+        },
+        spans=drain_spans(),
+        metrics=get_registry().snapshot(),
+        cache=cache_document,
+        experiments=experiments,
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -155,9 +237,34 @@ def main(argv: list[str] | None = None) -> None:
         help="feature cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro-splitmfg/features)",
     )
+    parser.add_argument(
+        "--manifest-dir",
+        default=str(DEFAULT_MANIFEST_DIR),
+        help="directory for the run manifest (default: results/runs)",
+    )
+    parser.add_argument(
+        "--no-manifest",
+        action="store_true",
+        help="do not write a run manifest",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="log level for stderr diagnostics (default: $REPRO_LOG_LEVEL "
+        "or WARNING)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit JSON-lines logs instead of the human format",
+    )
     args = parser.parse_args(argv)
+    configure_logging(
+        level=args.log_level, json_lines=args.log_json or None
+    )
     if not args.no_cache:
         set_default_cache(FeatureCache(args.cache_dir or default_cache_dir()))
+    drain_spans()  # the manifest should only carry this run's spans
     outputs = run_all(
         scale=args.scale,
         seed=args.seed,
@@ -167,6 +274,16 @@ def main(argv: list[str] | None = None) -> None:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(render_report(outputs, timings=False) + "\n")
+    if not args.no_manifest:
+        manifest = build_run_manifest(
+            outputs,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            only=tuple(args.only) if args.only else None,
+        )
+        path = write_manifest(manifest, Path(args.manifest_dir))
+        print(f"run manifest -> {path}", file=sys.stderr)
     print(render_report(outputs, timings=True))
 
 

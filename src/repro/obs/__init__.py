@@ -1,0 +1,66 @@
+"""Observability: structured logging, tracing spans, metrics, manifests.
+
+``repro.obs`` is the measurement substrate for the whole stack.  It is
+deliberately side-effect-free with respect to *results*: everything in
+this package writes to stderr, to in-memory registries, or to manifest
+files -- never to stdout or to experiment reports, so enabling any of
+it keeps ``--out`` documents byte-identical.
+
+* :mod:`repro.obs.logging` -- one :func:`configure_logging` entry point
+  (human or JSON-lines format, ``REPRO_LOG_LEVEL``/``REPRO_LOG_JSON``
+  env vars, ``--log-level``/``--log-json`` CLI flags) that the process
+  pool re-applies inside workers;
+* :mod:`repro.obs.trace` -- :func:`span` context manager producing
+  nested wall/CPU timings that serialize to dicts; spans recorded in
+  pool workers are returned with the task results and re-attached to
+  the parent's open span by ``repro.runtime.parallel_map``;
+* :mod:`repro.obs.metrics` -- process-local registry of counters and
+  histograms with ``snapshot()`` / ``snapshot_delta()`` / ``merge()``
+  so worker-side counts fold into the parent exactly once;
+* :mod:`repro.obs.manifest` -- run manifests: one JSON document per
+  invocation recording config, seeds, package versions, span trees,
+  metrics, and cache statistics (``results/runs/<timestamp>-<id>.json``).
+"""
+
+from .logging import (
+    apply_log_config,
+    configure_logging,
+    get_logger,
+    log_config,
+)
+from .manifest import build_manifest, new_run_id, package_versions, write_manifest
+from .metrics import (
+    MetricsRegistry,
+    counter,
+    get_registry,
+    histogram,
+    snapshot_delta,
+)
+from .trace import (
+    adopt_spans,
+    current_span,
+    drain_spans,
+    reset_tracing,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "adopt_spans",
+    "apply_log_config",
+    "build_manifest",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "drain_spans",
+    "get_logger",
+    "get_registry",
+    "histogram",
+    "log_config",
+    "new_run_id",
+    "package_versions",
+    "reset_tracing",
+    "snapshot_delta",
+    "span",
+    "write_manifest",
+]

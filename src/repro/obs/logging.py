@@ -1,0 +1,214 @@
+"""Structured logging with one configuration entry point.
+
+Everything under the ``repro`` logger hierarchy goes through
+:func:`configure_logging`.  Two formats are supported:
+
+* **human** (default) -- ``HH:MM:SS LEVEL logger: message key=value``;
+* **JSON lines** -- one JSON object per record with ``ts``, ``level``,
+  ``logger``, ``message``, and any structured fields passed via
+  ``logger.info("...", extra={...})``.
+
+Logs always go to *stderr* (or an explicit stream): stdout belongs to
+reports and must stay byte-identical whether logging is enabled or not.
+The handler resolves ``sys.stderr`` at emit time, so pytest capture and
+stream redirection behave predictably.
+
+Pool workers re-apply the parent's configuration through the picklable
+:func:`log_config` / :func:`apply_log_config` pair (see
+``repro.runtime.pool``), so ``--jobs N`` runs log the same way serial
+runs do.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, TextIO
+
+#: Environment variable naming the default log level (e.g. ``DEBUG``).
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+#: Environment variable switching on JSON-lines output (``1``/``true``).
+ENV_LOG_JSON = "REPRO_LOG_JSON"
+
+#: Root of the logger hierarchy this module configures.
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not structured payload.
+_RECORD_FIELDS = frozenset(
+    (
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    )
+)
+
+_state: dict[str, Any] = {"configured": False, "level": "WARNING", "json": False}
+
+
+def _record_extras(record: logging.LogRecord) -> dict[str, Any]:
+    """Structured fields attached to the record via ``extra={...}``."""
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RECORD_FIELDS and not key.startswith("_")
+    }
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One self-contained JSON object per log record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        document.update(_record_extras(record))
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, default=str, sort_keys=True)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terse single-line format with ``key=value`` structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        extras = _record_extras(record)
+        if extras:
+            line += " " + " ".join(
+                f"{key}={extras[key]}" for key in sorted(extras)
+            )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class _StderrHandler(logging.StreamHandler):
+    """Stream handler that resolves ``sys.stderr`` at emit time.
+
+    A fixed stream captured at configure time goes stale under pytest's
+    capture machinery and ``contextlib.redirect_stderr``; late binding
+    sidesteps both.  An explicit ``stream`` pins it instead.
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        super().__init__(stream or sys.stderr)
+        self._dynamic = stream is None
+
+    @property
+    def stream(self) -> TextIO:
+        return sys.stderr if self._dynamic else self._stream
+
+    @stream.setter
+    def stream(self, value: TextIO) -> None:
+        self._stream = value
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def configure_logging(
+    level: str | int | None = None,
+    json_lines: bool | None = None,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` log handler; returns the logger.
+
+    ``level`` defaults to ``$REPRO_LOG_LEVEL`` (then ``WARNING``);
+    ``json_lines`` defaults to ``$REPRO_LOG_JSON``.  Calling it again
+    reconfigures in place -- there is never more than one handler, so
+    records are never duplicated.  Propagation stays on so test
+    harnesses (``caplog``) still observe records.
+    """
+    if level is None:
+        level = os.environ.get(ENV_LOG_LEVEL) or "WARNING"
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    if json_lines is None:
+        json_lines = _env_truthy(ENV_LOG_JSON)
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = _StderrHandler(stream)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonLinesFormatter() if json_lines else HumanFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+
+    _state.update(
+        configured=True,
+        level=logging.getLevelName(level),
+        json=bool(json_lines),
+    )
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_config() -> dict[str, Any] | None:
+    """Picklable snapshot of the current configuration (``None`` if unset).
+
+    Streams are not picklable, so an explicit-stream configuration is
+    reproduced in workers with the default (stderr) stream instead.
+    """
+    if not _state["configured"]:
+        return None
+    return {"level": _state["level"], "json": _state["json"]}
+
+
+def apply_log_config(config: dict[str, Any] | None) -> None:
+    """Re-apply a :func:`log_config` snapshot (no-op for ``None``).
+
+    Pool workers call this first thing in every task so logging behaves
+    identically under ``fork`` (handler inherited, re-applied
+    harmlessly) and ``spawn`` (handler rebuilt from the snapshot).
+    """
+    if config is None:
+        return
+    configure_logging(level=config["level"], json_lines=config["json"])

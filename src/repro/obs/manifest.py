@@ -1,0 +1,107 @@
+"""Run manifests: one JSON document per invocation, next to its report.
+
+A manifest answers "what exactly produced this result?" months later:
+the command and its configuration, the root seed (all per-fold seeds
+derive from it via ``SeedSequence.spawn``), the package versions, the
+span trees timing every pipeline stage, the metrics snapshot, and the
+feature-cache statistics.  ``repro.experiments.run_all`` writes one to
+``results/runs/<timestamp>-<id>.json`` by default.
+
+Manifests are observability output, never experiment output: the
+report documents compared across ``--jobs`` values do not contain (or
+depend on) anything written here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+#: Manifest schema version (bump on breaking layout changes).
+SCHEMA_VERSION = 1
+
+#: Default directory for run manifests, relative to the working dir.
+DEFAULT_MANIFEST_DIR = Path("results") / "runs"
+
+
+def new_run_id() -> str:
+    """``<UTC timestamp>-<random id>``, also the manifest file stem."""
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    return f"{stamp}-{os.urandom(4).hex()}"
+
+
+def package_versions() -> dict[str, str]:
+    """Versions of the interpreter and the scientific stack in use."""
+    versions = {"python": platform.python_version()}
+    for name in ("numpy", "scipy", "networkx"):
+        module = sys.modules.get(name)
+        if module is None:
+            try:
+                module = __import__(name)
+            except ImportError:  # pragma: no cover - all are hard deps
+                continue
+        versions[name] = getattr(module, "__version__", "unknown")
+    return versions
+
+
+def build_manifest(
+    command: str,
+    config: dict[str, Any],
+    seeds: dict[str, Any],
+    spans: list[dict[str, Any]] | None = None,
+    metrics: dict[str, Any] | None = None,
+    cache: dict[str, Any] | None = None,
+    experiments: dict[str, Any] | None = None,
+    run_id: str | None = None,
+) -> dict[str, Any]:
+    """Assemble a manifest document (pure; nothing is written)."""
+    manifest: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": run_id or new_run_id(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "command": command,
+        "config": config,
+        "seeds": seeds,
+        "versions": package_versions(),
+        "host": {
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "spans": spans or [],
+        "metrics": metrics or {},
+    }
+    if cache is not None:
+        manifest["cache"] = cache
+    if experiments is not None:
+        manifest["experiments"] = experiments
+    return manifest
+
+
+def write_manifest(
+    manifest: dict[str, Any], directory: str | Path = DEFAULT_MANIFEST_DIR
+) -> Path:
+    """Atomically write ``<directory>/<run_id>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{manifest['run_id']}.json"
+    fd, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=False, default=str)
+            handle.write("\n")
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,270 @@
+"""Process-local metrics: named counters and histograms with snapshots.
+
+The registry is a flat namespace of monotonically-increasing counters
+and fixed-bucket histograms.  Labels are folded into the metric name
+with a stable encoding (``http_requests{route=/predict,status=200}``)
+so a snapshot is a plain ``str -> number`` mapping that serializes
+directly into manifests and the ``GET /metrics`` response.
+
+Pool workers each accumulate into their own (forked) registry; the pool
+wrapper snapshots before and after the task, ships the
+:func:`snapshot_delta` back with the result, and the parent
+:meth:`MetricsRegistry.merge`\\ s it -- counts survive the pool without
+double-counting whatever the worker inherited through ``fork``.
+
+All mutation is lock-protected: the serving stack increments from
+``ThreadingHTTPServer`` handler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+#: Default histogram buckets (seconds): tuned for request latencies from
+#: sub-millisecond health checks to multi-second full-design scoring.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Label value for the overflow bucket.
+INF_BUCKET = "+inf"
+
+
+def metric_name(name: str, labels: Mapping[str, Any]) -> str:
+    """Fold labels into a flat, stable metric name."""
+    if not labels:
+        return name
+    encoded = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{encoded}}}"
+
+
+class Counter:
+    """A monotonically-increasing integer counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (count/sum/min/max)."""
+
+    __slots__ = ("name", "buckets", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        slot = len(self.buckets)
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                slot = index
+                break
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state: count, sum, min, max, per-bucket counts."""
+        with self._lock:
+            buckets = {
+                str(upper): count
+                for upper, count in zip(self.buckets, self._counts)
+            }
+            buckets[INF_BUCKET] = self._counts[-1]
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 9),
+                "min": self._min,
+                "max": self._max,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """A process-local namespace of counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The named counter, created on first use."""
+        full = metric_name(name, labels)
+        with self._lock:
+            existing = self._counters.get(full)
+            if existing is None:
+                existing = self._counters[full] = Counter(full)
+            return existing
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The named histogram, created on first use."""
+        full = metric_name(name, labels)
+        with self._lock:
+            existing = self._histograms.get(full)
+            if existing is None:
+                existing = self._histograms[full] = Histogram(full, buckets)
+            return existing
+
+    # -- export / merge -------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time export: ``{"counters": ..., "histograms": ...}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any] | None) -> None:
+        """Fold a snapshot (typically a worker delta) into this registry.
+
+        Counter values add; histogram counts/sums/buckets add, min/max
+        combine when the delta carries them.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(int(value))
+        for name, state in snapshot.get("histograms", {}).items():
+            if not state or not state.get("count"):
+                continue
+            bucket_bounds = tuple(
+                float(b) for b in state.get("buckets", {}) if b != INF_BUCKET
+            )
+            histogram = self.histogram(
+                name, buckets=bucket_bounds or DEFAULT_BUCKETS
+            )
+            with histogram._lock:
+                histogram._count += int(state["count"])
+                histogram._sum += float(state.get("sum", 0.0))
+                for index, upper in enumerate(histogram.buckets):
+                    histogram._counts[index] += int(
+                        state.get("buckets", {}).get(str(upper), 0)
+                    )
+                histogram._counts[-1] += int(
+                    state.get("buckets", {}).get(INF_BUCKET, 0)
+                )
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = state.get(bound)
+                    if incoming is None:
+                        continue
+                    mine = getattr(histogram, f"_{bound}")
+                    setattr(
+                        histogram,
+                        f"_{bound}",
+                        incoming if mine is None else pick(mine, incoming),
+                    )
+
+    def reset(self) -> None:
+        """Drop every metric (tests and worker initialization)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+def snapshot_delta(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any]:
+    """What happened between two snapshots of the *same* registry.
+
+    Used by pool workers to report only their own task's activity, not
+    counts inherited from the parent through ``fork`` or left over from
+    earlier tasks on a reused worker.  Histogram min/max are only
+    carried when the period started from an empty histogram (otherwise
+    they cannot be attributed to the delta period and are omitted).
+    """
+    counters_before = before.get("counters", {})
+    delta_counters = {
+        name: value - counters_before.get(name, 0)
+        for name, value in after.get("counters", {}).items()
+        if value - counters_before.get(name, 0)
+    }
+    delta_histograms: dict[str, Any] = {}
+    histograms_before = before.get("histograms", {})
+    for name, state in after.get("histograms", {}).items():
+        previous = histograms_before.get(
+            name, {"count": 0, "sum": 0.0, "buckets": {}}
+        )
+        count = state["count"] - previous.get("count", 0)
+        if not count:
+            continue
+        fresh = not previous.get("count")
+        delta_histograms[name] = {
+            "count": count,
+            "sum": round(state["sum"] - previous.get("sum", 0.0), 9),
+            "min": state["min"] if fresh else None,
+            "max": state["max"] if fresh else None,
+            "buckets": {
+                upper: total - previous.get("buckets", {}).get(upper, 0)
+                for upper, total in state.get("buckets", {}).items()
+            },
+        }
+    return {"counters": delta_counters, "histograms": delta_histograms}
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Shorthand for ``get_registry().counter(...)``."""
+    return _registry.counter(name, **labels)
+
+
+def histogram(
+    name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+) -> Histogram:
+    """Shorthand for ``get_registry().histogram(...)``."""
+    return _registry.histogram(name, buckets=buckets, **labels)

@@ -1,0 +1,168 @@
+"""Pipeline tracing: nested wall/CPU timing spans that serialize to dicts.
+
+A span brackets one stage of the attack pipeline (Fig. 1 of the paper:
+split, v-pin extraction, pair featurization, training, threshold
+sweep)::
+
+    with span("featurize", design=view.design_name) as s:
+        X = compute_pair_features(...)
+        s.set(n_pairs=len(X))
+
+Spans nest per-thread: a span opened while another is active becomes a
+child of the active one; a span that closes with no parent is appended
+to the *finished* list, from which :func:`drain_spans` collects
+serialized trees for manifests.
+
+Process-pool safety: a worker cannot mutate the parent's span tree, so
+``repro.runtime.parallel_map`` resets tracing at task start
+(:func:`reset_tracing` -- the ``fork`` start method would otherwise
+leak the parent's open stack into the worker), drains the finished
+spans at task end, ships them back with the result, and the parent
+re-attaches them under its open span (:func:`adopt_spans`).  Serial and
+parallel runs therefore produce the same tree shape, timings aside.
+
+The finished list is bounded (:data:`MAX_FINISHED_SPANS`) so that a
+long-running server recording spans nobody drains cannot grow without
+limit; the oldest trees are dropped and counted in ``dropped_spans``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: Upper bound on retained finished span trees (oldest dropped first).
+MAX_FINISHED_SPANS = 1024
+
+_local = threading.local()
+_finished: list[dict[str, Any]] = []
+_dropped = 0
+_lock = threading.Lock()
+
+
+class Span:
+    """One live timing span; ``to_dict()`` freezes it for serialization."""
+
+    __slots__ = ("name", "attrs", "children", "status", "wall_s", "cpu_s")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[dict[str, Any]] = []
+        self.status = "ok"
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able tree: name, attrs, timings, status, children."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "status": self.status,
+            "children": list(self.children),
+        }
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@contextmanager
+def span(name: str, /, **attrs: Any) -> Iterator[Span]:
+    """Record one named, attributed span around a block of work.
+
+    Exceptions mark the span ``status="error"`` and propagate.  The
+    closed span lands either in its parent's ``children`` (when nested)
+    or in the process-wide finished list (drained by manifests or the
+    pool wrapper).
+    """
+    current = Span(name, dict(attrs))
+    stack = _stack()
+    stack.append(current)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield current
+    except BaseException:
+        current.status = "error"
+        raise
+    finally:
+        current.wall_s = time.perf_counter() - wall0
+        current.cpu_s = time.process_time() - cpu0
+        stack.pop()
+        document = current.to_dict()
+        if stack:
+            stack[-1].children.append(document)
+        else:
+            _append_finished([document])
+
+
+def _append_finished(documents: list[dict[str, Any]]) -> None:
+    global _dropped
+    with _lock:
+        _finished.extend(documents)
+        overflow = len(_finished) - MAX_FINISHED_SPANS
+        if overflow > 0:
+            del _finished[:overflow]
+            _dropped += overflow
+
+
+def current_span() -> Span | None:
+    """The calling thread's innermost open span, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def drain_spans() -> list[dict[str, Any]]:
+    """Remove and return every finished root span tree (oldest first)."""
+    with _lock:
+        documents = list(_finished)
+        _finished.clear()
+        return documents
+
+
+def dropped_spans() -> int:
+    """How many finished trees were discarded to the retention cap."""
+    with _lock:
+        return _dropped
+
+
+def adopt_spans(documents: list[dict[str, Any]]) -> None:
+    """Attach already-serialized span trees produced elsewhere.
+
+    They become children of the calling thread's open span when there
+    is one (the common case: ``run_loo``'s span is open while the pool
+    returns fold spans), otherwise finished roots.
+    """
+    if not documents:
+        return
+    stack = _stack()
+    if stack:
+        stack[-1].children.extend(documents)
+    else:
+        _append_finished(list(documents))
+
+
+def reset_tracing() -> None:
+    """Drop the calling thread's stack and all finished spans.
+
+    Pool workers call this at task start: under ``fork`` they inherit
+    the parent's open spans and undrained finished list, neither of
+    which belongs to the worker's task.
+    """
+    global _dropped
+    _local.stack = []
+    with _lock:
+        _finished.clear()
+        _dropped = 0

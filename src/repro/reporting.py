@@ -8,15 +8,25 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import Any, Sequence
+
+import numpy as np
 
 
 def format_value(value: Any) -> str:
-    """Human-friendly cell rendering (percentages, dashes for None)."""
+    """Human-friendly cell rendering (percentages, dashes for None).
+
+    NumPy scalar floats take the float path too (``np.float32`` is not
+    a ``float`` subclass, so a bare ``isinstance(value, float)`` check
+    would let it bypass rounding), and non-finite values -- NaN *and*
+    both infinities -- all render as ``--``.
+    """
     if value is None:
         return "--"
-    if isinstance(value, float):
-        if value != value:  # NaN
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if not math.isfinite(value):  # NaN, inf, -inf
             return "--"
         if abs(value) >= 1000:
             return f"{value:.0f}"

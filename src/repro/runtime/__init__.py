@@ -21,6 +21,7 @@ from .cache import (
     FeatureCache,
     code_fingerprint,
     default_cache_dir,
+    flush_cache_stats,
     get_default_cache,
     hash_key,
     set_default_cache,
@@ -33,6 +34,7 @@ __all__ = [
     "FeatureCache",
     "code_fingerprint",
     "default_cache_dir",
+    "flush_cache_stats",
     "get_default_cache",
     "hash_key",
     "parallel_map",

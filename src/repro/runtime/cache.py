@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import inspect
+import json
 import os
 import tempfile
 import zipfile
@@ -34,11 +35,29 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..obs.metrics import counter, get_registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..splitmfg.split import SplitView
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Sidecar file (inside the cache root) accumulating lifetime stats.
+STATS_FILE = "stats.json"
+
+#: Counter names tracked per cache event; registry metrics are
+#: ``cache_<name>`` and the sidecar/``stats()`` documents use the bare
+#: names.
+CACHE_COUNTERS = (
+    "hits",
+    "misses",
+    "puts",
+    "put_rejected",
+    "evicted",
+    "hit_bytes",
+    "put_bytes",
+)
 
 #: Entries whose arrays exceed this many bytes are not written (a single
 #: full-scale all-pairs candidate matrix stays well under it; the cap
@@ -143,15 +162,32 @@ def view_content_hash(view: "SplitView") -> str:
 
 
 class FeatureCache:
-    """Directory of ``<key>.npz`` entries holding named float arrays."""
+    """Directory of ``<key>.npz`` entries holding named float arrays.
+
+    Every hit/miss/put/eviction increments both an instance attribute
+    (``cache.hits`` etc.) and a process-wide ``cache_*`` counter in the
+    :mod:`repro.obs.metrics` registry; pool workers' counts flow back
+    to the parent through ``parallel_map``'s delta merging, and
+    :func:`flush_cache_stats` folds the process totals into a sidecar
+    file so ``repro cache stats`` sees the lifetime trajectory.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.put_rejected = 0
+        self.evicted = 0
+        self.hit_bytes = 0
+        self.put_bytes = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + amount)
+        counter(f"cache_{name}").inc(amount)
 
     def get(self, key: str) -> dict[str, np.ndarray] | None:
         """The stored arrays for ``key``, or ``None`` on a miss."""
@@ -159,15 +195,19 @@ class FeatureCache:
             with np.load(self._path(key), allow_pickle=False) as data:
                 arrays = {name: data[name] for name in data.files}
         except (OSError, ValueError, zipfile.BadZipFile, EOFError):
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
+        self._count(
+            "hit_bytes", sum(array.nbytes for array in arrays.values())
+        )
         return arrays
 
     def put(self, key: str, arrays: dict[str, np.ndarray]) -> bool:
         """Atomically store ``arrays``; returns whether it was written."""
         total = sum(np.asarray(a).nbytes for a in arrays.values())
         if total > MAX_ENTRY_BYTES:
+            self._count("put_rejected")
             return False
         self.root.mkdir(parents=True, exist_ok=True)
         fd, temp_name = tempfile.mkstemp(
@@ -182,7 +222,10 @@ class FeatureCache:
                 os.unlink(temp_name)
             except OSError:
                 pass
+            self._count("put_rejected")
             return False
+        self._count("puts")
+        self._count("put_bytes", total)
         return True
 
     def entries(self) -> list[Path]:
@@ -207,7 +250,86 @@ class FeatureCache:
                 removed += 1
             except OSError:
                 pass
+        if removed:
+            self._count("evicted", removed)
         return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Live statistics: directory footprint plus process counters.
+
+        The counter values come from the process-wide registry (so they
+        include merged pool-worker activity), which conflates multiple
+        cache directories used in one process -- in practice the CLIs
+        install exactly one.
+        """
+        snapshot = get_registry().snapshot()["counters"]
+        document: dict[str, Any] = {
+            "dir": str(self.root),
+            "entries": len(self.entries()),
+            "total_bytes": self.total_bytes(),
+        }
+        for name in CACHE_COUNTERS:
+            document[name] = snapshot.get(f"cache_{name}", 0)
+        return document
+
+    def persisted_stats(self) -> dict[str, int]:
+        """Lifetime counters accumulated in the sidecar file."""
+        return _read_sidecar(self.root)
+
+
+def _read_sidecar(root: Path) -> dict[str, int]:
+    """The sidecar totals (zeros when absent or unreadable)."""
+    totals = {name: 0 for name in CACHE_COUNTERS}
+    try:
+        with open(Path(root) / STATS_FILE) as handle:
+            stored = json.load(handle)
+    except (OSError, ValueError):
+        return totals
+    for name in CACHE_COUNTERS:
+        try:
+            totals[name] = int(stored.get(name, 0))
+        except (TypeError, ValueError):
+            pass
+    return totals
+
+
+#: Registry counter values already flushed to a sidecar by this process.
+_flush_baseline: dict[str, int] = {}
+
+
+def flush_cache_stats(cache: FeatureCache) -> dict[str, int]:
+    """Fold this process's un-flushed cache counters into the sidecar.
+
+    Returns the updated lifetime totals.  Uses the registry counters
+    (which include merged pool-worker deltas) against a module-level
+    baseline, so calling it repeatedly never double-counts.  Concurrent
+    CLI invocations race on read-modify-write and may lose each other's
+    increment -- the sidecar is advisory bookkeeping, not a ledger.
+    """
+    snapshot = get_registry().snapshot()["counters"]
+    current = {
+        name: snapshot.get(f"cache_{name}", 0) for name in CACHE_COUNTERS
+    }
+    delta = {
+        name: current[name] - _flush_baseline.get(name, 0)
+        for name in CACHE_COUNTERS
+    }
+    _flush_baseline.update(current)
+    totals = _read_sidecar(cache.root)
+    for name in CACHE_COUNTERS:
+        totals[name] += delta[name]
+    if any(delta.values()) or not (cache.root / STATS_FILE).exists():
+        try:
+            cache.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=cache.root, prefix=".tmp-", suffix=".stats"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle)
+            os.replace(temp_name, cache.root / STATS_FILE)
+        except OSError:
+            pass
+    return totals
 
 
 _default_cache: FeatureCache | None = None

@@ -5,6 +5,14 @@ exactly what ``[fn(x) for x in items]`` returns, in the same order, for
 every ``N``.  Determinism is the caller's job (see
 :mod:`repro.runtime.seeding`); order preservation and the serial
 fast path are this module's.
+
+Observability rides along invisibly: when work goes to the pool, each
+task is wrapped so the worker (1) re-applies the parent's logging
+configuration, (2) resets tracing (``fork`` leaks the parent's open
+span stack), and (3) ships its finished spans and its metrics *delta*
+back beside the result.  The parent re-attaches the spans under its
+open span and merges the metric deltas -- in input order, so traces and
+counts are the same whether the task ran serially or on a worker.
 """
 
 from __future__ import annotations
@@ -12,7 +20,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..obs.logging import apply_log_config, log_config
+from ..obs.metrics import get_registry, snapshot_delta
+from ..obs.trace import adopt_spans, drain_spans, reset_tracing
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,6 +51,20 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _observed_call(
+    payload: tuple[Callable[[T], R], T, dict[str, Any] | None],
+) -> tuple[R, list[dict[str, Any]], dict[str, Any]]:
+    """Run one task in a worker, capturing its spans and metric delta."""
+    fn, item, logging_config = payload
+    apply_log_config(logging_config)
+    reset_tracing()
+    before = get_registry().snapshot()
+    result = fn(item)
+    spans = drain_spans()
+    delta = snapshot_delta(before, get_registry().snapshot())
+    return result, spans, delta
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -48,12 +74,23 @@ def parallel_map(
 
     ``jobs <= 1`` (or a single item) runs serially in-process with no
     executor overhead.  ``fn`` and every item must be picklable when
-    ``jobs > 1``; results come back in input order.
+    ``jobs > 1``; results come back in input order.  Spans and metrics
+    recorded by ``fn`` inside workers are merged back into this
+    process's tracer and registry, in input order.
     """
     work: Sequence[T] = list(items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
     workers = min(jobs, len(work))
+    logging_config = log_config()
+    payloads = [(fn, item, logging_config) for item in work]
     with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        return list(pool.map(fn, work))
+        observed = list(pool.map(_observed_call, payloads))
+    registry = get_registry()
+    results: list[R] = []
+    for result, spans, delta in observed:
+        adopt_spans(spans)
+        registry.merge(delta)
+        results.append(result)
+    return results

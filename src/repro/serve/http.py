@@ -4,6 +4,9 @@ Endpoints:
 
 * ``GET  /health``  -- liveness + registered model count;
 * ``GET  /models``  -- registry listing (``RegistryEntry.describe``);
+* ``GET  /metrics`` -- snapshot of the process metrics registry
+  (request counts and latency histograms by route/status, cache and
+  pipeline counters -- see OBSERVABILITY.md for the contract);
 * ``POST /predict`` -- body ``{"challenge": <public doc>,
   "model": <id|name, optional>, "threshold": <float, optional>,
   "top_k": <int, optional>}``; responds with the service's prediction
@@ -11,18 +14,34 @@ Endpoints:
 
 Built on ``ThreadingHTTPServer`` so slow scoring requests do not block
 health checks; no third-party dependencies.
+
+Every response also feeds the observability stack: an
+``http_requests{method,route,status}`` counter, an
+``http_request_seconds{route}`` latency histogram, and a structured
+access-log record on the ``repro.serve.access`` logger (method, path,
+status, duration, response bytes).  Enable with ``repro --log-level
+INFO serve ...``; logs go to stderr, never into response bodies.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..obs.logging import get_logger
+from ..obs.metrics import counter, get_registry, histogram
 from .registry import ModelNotFoundError
 from .service import AttackService
 
 MAX_REQUEST_BYTES = 256 * 1024 * 1024
+
+#: Routes the metrics label set is allowed to contain; anything else is
+#: folded into "other" so scanners cannot blow up the label cardinality.
+KNOWN_ROUTES = ("/health", "/models", "/metrics", "/predict")
+
+access_log = get_logger("serve.access")
 
 
 class AttackHTTPServer(ThreadingHTTPServer):
@@ -34,6 +53,7 @@ class AttackHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = True
+        self.started = time.time()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -47,8 +67,45 @@ class _Handler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
+    def _route_label(self) -> str:
+        path = self.path.split("?", 1)[0]
+        return path if path in KNOWN_ROUTES else "other"
+
+    def _observe(self, status: int, response_bytes: int) -> None:
+        """Record one finished request: metrics + structured access log."""
+        duration = time.perf_counter() - getattr(
+            self, "_started", time.perf_counter()
+        )
+        route = self._route_label()
+        counter(
+            "http_requests",
+            method=self.command,
+            route=route,
+            status=status,
+        ).inc()
+        histogram("http_request_seconds", route=route).observe(duration)
+        access_log.info(
+            "%s %s -> %d",
+            self.command,
+            self.path,
+            status,
+            extra={
+                "method": self.command,
+                "path": self.path,
+                "status": status,
+                "duration_ms": round(duration * 1e3, 3),
+                "response_bytes": response_bytes,
+                "client": self.client_address[0],
+            },
+        )
+
     def _send_json(self, status: int, document: dict[str, Any]) -> None:
         body = json.dumps(document).encode()
+        # Observe before writing: once a client has read the response,
+        # the request is guaranteed to appear in the very next
+        # ``/metrics`` scrape (the duration excludes only the final
+        # socket write).
+        self._observe(status, len(body))
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
@@ -60,6 +117,7 @@ class _Handler(BaseHTTPRequestHandler):
             # nobody left to tell, and the handler thread must not die
             # with a traceback over it.
             self.close_connection = True
+            counter("http_disconnects", route=self._route_label()).inc()
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -84,7 +142,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------
 
     def do_GET(self) -> None:
-        """Route ``GET /health`` and ``GET /models``."""
+        """Route ``GET /health``, ``GET /models``, ``GET /metrics``."""
+        self._started = time.perf_counter()
         if self.path == "/health":
             self._send_json(
                 200,
@@ -92,11 +151,18 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/models":
             self._send_json(200, {"models": self.server.service.models()})
+        elif self.path == "/metrics":
+            snapshot = get_registry().snapshot()
+            snapshot["uptime_s"] = round(
+                time.time() - getattr(self.server, "started", time.time()), 3
+            )
+            self._send_json(200, snapshot)
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:
         """Route ``POST /predict``."""
+        self._started = time.perf_counter()
         if self.path != "/predict":
             self._send_error_json(404, f"unknown path {self.path!r}")
             return
@@ -112,6 +178,7 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_exact(length)
         except (ConnectionResetError, TimeoutError, OSError):
             self.close_connection = True
+            counter("http_disconnects", route=self._route_label()).inc()
             return
         if body is None:
             self._send_error_json(400, "truncated request body")

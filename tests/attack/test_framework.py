@@ -120,3 +120,47 @@ class TestLoo:
     def test_run_loo_needs_two_views(self, views8):
         with pytest.raises(ValueError):
             run_loo(IMP_9, views8[:1], seed=0)
+
+
+class TestObservability:
+    """The driver emits span trees and pipeline counters."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        from repro.obs import get_registry, reset_tracing
+
+        reset_tracing()
+        get_registry().reset()
+        yield
+        reset_tracing()
+        get_registry().reset()
+
+    def test_run_loo_span_tree(self, views8):
+        from repro.obs import drain_spans, get_registry
+
+        run_loo(IMP_9, views8[:3], seed=0)
+        (loo,) = drain_spans()
+        assert loo["name"] == "loo"
+        assert loo["attrs"]["n_folds"] == 3
+        folds = loo["children"]
+        assert [f["name"] for f in folds] == ["fold"] * 3
+        for fold in folds:
+            child_names = [c["name"] for c in fold["children"]]
+            assert "train" in child_names and "evaluate" in child_names
+        counters = get_registry().snapshot()["counters"]
+        assert counters["folds_completed"] == 3
+        assert counters["candidates_scored"] > 0
+
+    def test_parallel_folds_counters_match_serial(self, views8):
+        from repro.obs import drain_spans, get_registry, reset_tracing
+
+        run_loo(IMP_9, views8[:3], seed=0, jobs=1)
+        serial = get_registry().snapshot()["counters"]
+        get_registry().reset()
+        reset_tracing()
+        run_loo(IMP_9, views8[:3], seed=0, jobs=2)
+        pooled = get_registry().snapshot()["counters"]
+        for name in ("folds_completed", "candidates_scored"):
+            assert serial[name] == pooled[name]
+        (loo,) = drain_spans()
+        assert [f["name"] for f in loo["children"]] == ["fold"] * 3

@@ -1,0 +1,108 @@
+"""Tests for structured logging configuration (repro.obs.logging)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    ENV_LOG_JSON,
+    ENV_LOG_LEVEL,
+    apply_log_config,
+    configure_logging,
+    get_logger,
+    log_config,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger the way the suite found it."""
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestConfigure:
+    def test_installs_exactly_one_handler(self):
+        logger = configure_logging(level="INFO")
+        configure_logging(level="DEBUG")
+        ours = [
+            h for h in logger.handlers if getattr(h, "_repro_obs", False)
+        ]
+        assert len(ours) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_LEVEL, "ERROR")
+        assert configure_logging().level == logging.ERROR
+
+    def test_env_json(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_JSON, "true")
+        configure_logging()
+        assert log_config()["json"] is True
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="LOUD")
+
+    def test_propagation_stays_on_for_caplog(self):
+        assert configure_logging(level="INFO").propagate is True
+
+
+class TestHumanFormat:
+    def test_message_and_extras(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", json_lines=False, stream=stream)
+        get_logger("unit").info("hello %d", 7, extra={"design": "sb1", "k": 2})
+        line = stream.getvalue().strip()
+        assert "hello 7" in line
+        assert "repro.unit" in line
+        assert "design=sb1" in line and "k=2" in line
+
+
+class TestJsonLinesFormat:
+    def test_records_parse_as_json(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json_lines=True, stream=stream)
+        get_logger("unit").debug("scored", extra={"n_pairs": 123})
+        document = json.loads(stream.getvalue())
+        assert document["message"] == "scored"
+        assert document["level"] == "DEBUG"
+        assert document["logger"] == "repro.unit"
+        assert document["n_pairs"] == 123
+        assert document["ts"].endswith("Z")
+
+    def test_one_line_per_record(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", json_lines=True, stream=stream)
+        logger = get_logger("unit")
+        logger.info("a")
+        logger.info("b")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["message"] for line in lines] == ["a", "b"]
+
+
+class TestWorkerConfigTransport:
+    def test_round_trip(self):
+        configure_logging(level="DEBUG", json_lines=True)
+        config = log_config()
+        assert config == {"level": "DEBUG", "json": True}
+        configure_logging(level="WARNING", json_lines=False)
+        apply_log_config(config)
+        assert log_config() == {"level": "DEBUG", "json": True}
+
+    def test_apply_none_is_noop(self):
+        apply_log_config(None)  # must not raise or install anything
+
+
+class TestGetLogger:
+    def test_prefixes_names(self):
+        assert get_logger("attack").name == "repro.attack"
+        assert get_logger("repro.serve.access").name == "repro.serve.access"
+        assert get_logger("repro").name == "repro"

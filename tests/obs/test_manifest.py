@@ -1,0 +1,74 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+import json
+import re
+
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    build_manifest,
+    new_run_id,
+    package_versions,
+    write_manifest,
+)
+
+
+class TestRunId:
+    def test_timestamp_dash_id_shape(self):
+        run_id = new_run_id()
+        assert re.fullmatch(r"\d{8}T\d{6}Z-[0-9a-f]{8}", run_id)
+
+    def test_unique(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestPackageVersions:
+    def test_reports_python_and_numpy(self):
+        versions = package_versions()
+        assert re.fullmatch(r"\d+\.\d+\.\d+.*", versions["python"])
+        assert "numpy" in versions
+
+
+class TestBuildManifest:
+    def test_required_fields(self):
+        manifest = build_manifest(
+            command="run_all",
+            config={"scale": 0.1, "jobs": 2},
+            seeds={"root": 0},
+            spans=[{"name": "run_all"}],
+            metrics={"counters": {"x": 1}},
+            cache={"entries": 3},
+            experiments={"table1": {"elapsed_seconds": 1.0}},
+        )
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["command"] == "run_all"
+        assert manifest["config"]["jobs"] == 2
+        assert manifest["seeds"] == {"root": 0}
+        assert manifest["spans"][0]["name"] == "run_all"
+        assert manifest["metrics"]["counters"]["x"] == 1
+        assert manifest["cache"]["entries"] == 3
+        assert manifest["experiments"]["table1"]["elapsed_seconds"] == 1.0
+        assert manifest["host"]["cpu_count"] >= 1
+
+    def test_optional_sections_omitted(self):
+        manifest = build_manifest(
+            command="attack", config={}, seeds={"root": 1}
+        )
+        assert "cache" not in manifest
+        assert "experiments" not in manifest
+        assert manifest["spans"] == []
+
+
+class TestWriteManifest:
+    def test_writes_run_id_named_file(self, tmp_path):
+        manifest = build_manifest(command="x", config={}, seeds={})
+        path = write_manifest(manifest, tmp_path / "runs")
+        assert path == tmp_path / "runs" / f"{manifest['run_id']}.json"
+        with open(path) as handle:
+            assert json.load(handle) == manifest
+
+    def test_no_temp_litter(self, tmp_path):
+        manifest = build_manifest(command="x", config={}, seeds={})
+        write_manifest(manifest, tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            f"{manifest['run_id']}.json"
+        ]

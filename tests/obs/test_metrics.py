@@ -1,0 +1,129 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    counter,
+    get_registry,
+    histogram,
+    metric_name,
+    snapshot_delta,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+class TestNames:
+    def test_plain(self):
+        assert metric_name("hits", {}) == "hits"
+
+    def test_labels_sorted_and_stable(self):
+        name = metric_name("http_requests", {"status": 200, "route": "/x"})
+        assert name == "http_requests{route=/x,status=200}"
+
+
+class TestCounters:
+    def test_inc_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"] == {"hits": 5}
+
+    def test_same_name_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", a=1) is not registry.counter("x")
+
+    def test_module_shorthand_uses_default_registry(self):
+        counter("shorthand").inc(2)
+        assert get_registry().snapshot()["counters"]["shorthand"] == 2
+
+
+class TestHistograms:
+    def test_observe_and_snapshot(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 30.0):
+            h.observe(value)
+        state = registry.snapshot()["histograms"]["lat"]
+        assert state["count"] == 4
+        assert state["min"] == 0.05 and state["max"] == 30.0
+        assert state["buckets"] == {"0.1": 1, "1.0": 2, "+inf": 1}
+        assert state["sum"] == pytest.approx(31.05)
+
+    def test_default_buckets(self):
+        h = histogram("lat2")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestDeltaAndMerge:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        before = registry.snapshot()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(1)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"a": 2, "b": 1}
+
+    def test_histogram_delta_fresh_carries_minmax(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["min"] == 0.5
+
+    def test_histogram_delta_inherited_omits_minmax(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(99.0)
+        before = registry.snapshot()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        delta = snapshot_delta(before, registry.snapshot())
+        state = delta["histograms"]["h"]
+        assert state["count"] == 1
+        assert state["min"] is None and state["max"] is None
+        assert state["buckets"] == {"1.0": 1, "+inf": 0}
+
+    def test_merge_folds_worker_delta(self):
+        parent = MetricsRegistry()
+        parent.counter("folds").inc(1)
+        parent.histogram("lat", buckets=(1.0,)).observe(0.2)
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.counter("folds").inc(2)
+        worker.histogram("lat", buckets=(1.0,)).observe(0.7)
+        worker.histogram("lat", buckets=(1.0,)).observe(2.0)
+        parent.merge(snapshot_delta(before, worker.snapshot()))
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["folds"] == 3
+        state = snapshot["histograms"]["lat"]
+        assert state["count"] == 3
+        assert state["buckets"] == {"1.0": 2, "+inf": 1}
+        assert state["sum"] == pytest.approx(2.9)
+        assert state["min"] == 0.2 and state["max"] == 2.0
+
+    def test_merge_none_or_empty_is_noop(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        registry.merge({"counters": {}, "histograms": {}})
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_delta_then_merge_is_exact_under_simulated_fork(self):
+        """A 'worker' inheriting parent counts reports only its own work."""
+        parent = MetricsRegistry()
+        parent.counter("n").inc(10)
+        # Fork: the worker starts as a copy (simulated by same values).
+        worker = MetricsRegistry()
+        worker.counter("n").inc(10)
+        before = worker.snapshot()
+        worker.counter("n").inc(5)  # the task's own work
+        parent.merge(snapshot_delta(before, worker.snapshot()))
+        assert parent.snapshot()["counters"]["n"] == 15

@@ -1,0 +1,127 @@
+"""Tests for pipeline tracing spans (repro.obs.trace)."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    adopt_spans,
+    current_span,
+    drain_spans,
+    dropped_spans,
+    reset_tracing,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+class TestSpans:
+    def test_root_span_finishes_into_drain(self):
+        with span("stage", design="sb1"):
+            pass
+        (document,) = drain_spans()
+        assert document["name"] == "stage"
+        assert document["attrs"] == {"design": "sb1"}
+        assert document["status"] == "ok"
+        assert document["wall_s"] >= 0.0
+        assert document["cpu_s"] >= 0.0
+        assert document["children"] == []
+        assert drain_spans() == []  # drained means gone
+
+    def test_nesting_builds_a_tree(self):
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        (document,) = drain_spans()
+        middle, sibling = document["children"]
+        assert middle["name"] == "middle"
+        assert middle["children"][0]["name"] == "inner"
+        assert sibling["name"] == "sibling"
+
+    def test_set_attaches_attributes_late(self):
+        with span("stage") as s:
+            s.set(n_pairs=42)
+        (document,) = drain_spans()
+        assert document["attrs"]["n_pairs"] == 42
+
+    def test_exception_marks_error_and_propagates(self):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        (document,) = drain_spans()
+        assert document["status"] == "error"
+        assert document["children"][0]["status"] == "error"
+
+    def test_current_span(self):
+        assert current_span() is None
+        with span("stage") as s:
+            assert current_span() is s
+        assert current_span() is None
+
+    def test_name_attr_does_not_collide(self):
+        with span("experiment", name="table1"):
+            pass
+        (document,) = drain_spans()
+        assert document["attrs"]["name"] == "table1"
+
+
+class TestAdopt:
+    def test_adopt_into_open_span(self):
+        shipped = [{"name": "fold", "attrs": {}, "children": []}]
+        with span("loo"):
+            adopt_spans(shipped)
+        (document,) = drain_spans()
+        assert document["children"] == shipped
+
+    def test_adopt_without_open_span_becomes_root(self):
+        adopt_spans([{"name": "orphan", "attrs": {}, "children": []}])
+        assert [d["name"] for d in drain_spans()] == ["orphan"]
+
+    def test_adopt_empty_is_noop(self):
+        adopt_spans([])
+        assert drain_spans() == []
+
+
+class TestBoundsAndThreads:
+    def test_finished_list_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(trace, "MAX_FINISHED_SPANS", 10)
+        for k in range(25):
+            with span("s", k=k):
+                pass
+        documents = drain_spans()
+        assert len(documents) == 10
+        assert documents[-1]["attrs"]["k"] == 24  # newest retained
+        assert dropped_spans() == 15
+
+    def test_threads_have_independent_stacks(self):
+        errors = []
+
+        def worker():
+            try:
+                assert current_span() is None
+                with span("thread-side"):
+                    assert current_span().name == "thread-side"
+            except AssertionError as error:  # pragma: no cover
+                errors.append(error)
+
+        with span("main-side"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert not errors
+        names = sorted(d["name"] for d in drain_spans())
+        # The thread's span is a root of its own, not a child of main's.
+        assert names == ["main-side", "thread-side"]
+        main = [n for n in names if n == "main-side"]
+        assert main

@@ -5,16 +5,19 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.obs import get_registry
 from repro.runtime import (
     FeatureCache,
     code_fingerprint,
     default_cache_dir,
+    flush_cache_stats,
     get_default_cache,
     hash_key,
     set_default_cache,
     view_content_hash,
 )
-from repro.runtime.cache import ENV_CACHE_DIR
+from repro.runtime import cache as cache_module
+from repro.runtime.cache import CACHE_COUNTERS, ENV_CACHE_DIR, STATS_FILE
 
 
 class TestHashKey:
@@ -111,6 +114,89 @@ class TestFeatureCache:
         cache = FeatureCache(tmp_path / "never-created")
         assert cache.entries() == []
         assert cache.get("k") is None
+
+
+class TestCacheStats:
+    """Counters, ``stats()`` documents, and the sidecar lifetime file."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_counters(self, monkeypatch):
+        get_registry().reset()
+        monkeypatch.setattr(cache_module, "_flush_baseline", {})
+        yield
+        get_registry().reset()
+
+    def test_put_get_clear_counters(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        arrays = {"X": np.ones(4)}
+        cache.put("a", arrays)
+        cache.put("b", arrays)
+        cache.get("a")
+        cache.get("gone")
+        cache.clear()
+        assert cache.puts == 2
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.evicted == 2
+        assert cache.put_bytes == 2 * arrays["X"].nbytes
+        assert cache.hit_bytes == arrays["X"].nbytes
+
+    def test_counters_mirrored_into_registry(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("a", {"X": np.ones(2)})
+        cache.get("a")
+        counters = get_registry().snapshot()["counters"]
+        assert counters["cache_puts"] == 1
+        assert counters["cache_hits"] == 1
+        assert counters["cache_put_bytes"] > 0
+
+    def test_rejected_put_counts(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.runtime.cache.MAX_ENTRY_BYTES", 8)
+        cache = FeatureCache(tmp_path)
+        cache.put("big", {"X": np.ones(100)})
+        assert cache.put_rejected == 1
+        counters = get_registry().snapshot()["counters"]
+        assert counters["cache_put_rejected"] == 1
+
+    def test_stats_document(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("a", {"X": np.ones(3)})
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["dir"] == str(tmp_path)
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["hits"] == 1 and stats["puts"] == 1
+        assert set(CACHE_COUNTERS) <= set(stats)
+
+    def test_flush_writes_sidecar_once(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("a", {"X": np.ones(3)})
+        cache.get("a")
+        totals = flush_cache_stats(cache)
+        assert totals["hits"] == 1 and totals["puts"] == 1
+        assert (tmp_path / STATS_FILE).exists()
+        # A second flush with no new activity must not double-count.
+        again = flush_cache_stats(cache)
+        assert again == totals
+        assert cache.persisted_stats() == totals
+
+    def test_flush_accumulates_across_processes(self, tmp_path):
+        """Simulate a later CLI run folding into the same sidecar."""
+        cache = FeatureCache(tmp_path)
+        cache.get("missing")
+        flush_cache_stats(cache)
+        # "New process": fresh registry and baseline, same cache root.
+        get_registry().reset()
+        cache_module._flush_baseline.clear()
+        second = FeatureCache(tmp_path)
+        second.get("still-missing")
+        totals = flush_cache_stats(second)
+        assert totals["misses"] == 2
+
+    def test_persisted_stats_tolerates_garbage(self, tmp_path):
+        (tmp_path / STATS_FILE).write_text("not json")
+        cache = FeatureCache(tmp_path)
+        assert cache.persisted_stats() == {n: 0 for n in CACHE_COUNTERS}
 
 
 class TestDefaults:

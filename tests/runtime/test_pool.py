@@ -4,6 +4,13 @@ import os
 
 import pytest
 
+from repro.obs import (
+    counter,
+    drain_spans,
+    get_registry,
+    reset_tracing,
+    span,
+)
 from repro.runtime import parallel_map, resolve_jobs
 
 
@@ -17,6 +24,14 @@ def _pid_of(_):
 
 def _boom(x):
     raise RuntimeError(f"boom {x}")
+
+
+def _traced_task(x):
+    """A task that emits one span and one counter tick (pool-picklable)."""
+    with span("task", item=x) as s:
+        s.set(result=x * x)
+    counter("tasks_done").inc()
+    return x * x
 
 
 class TestResolveJobs:
@@ -64,3 +79,42 @@ class TestParallelMap:
     def test_serial_exception_propagates(self):
         with pytest.raises(RuntimeError, match="boom"):
             parallel_map(_boom, [1], jobs=1)
+
+
+class TestObservabilityTransport:
+    """Spans and metrics emitted inside workers reach the parent."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        reset_tracing()
+        get_registry().reset()
+        yield
+        reset_tracing()
+        get_registry().reset()
+
+    def test_worker_spans_adopted_in_order(self):
+        with span("parent"):
+            assert parallel_map(_traced_task, [3, 1, 2], jobs=2) == [9, 1, 4]
+        (document,) = drain_spans()
+        assert document["name"] == "parent"
+        children = document["children"]
+        assert [c["name"] for c in children] == ["task"] * 3
+        assert [c["attrs"]["item"] for c in children] == [3, 1, 2]
+        assert [c["attrs"]["result"] for c in children] == [9, 1, 4]
+
+    def test_worker_spans_without_parent_become_roots(self):
+        parallel_map(_traced_task, [1, 2], jobs=2)
+        names = [d["name"] for d in drain_spans()]
+        assert names == ["task", "task"]
+
+    def test_worker_counters_merge_and_match_serial(self):
+        parallel_map(_traced_task, list(range(4)), jobs=1)
+        serial = get_registry().snapshot()["counters"]["tasks_done"]
+        get_registry().reset()
+        reset_tracing()
+        parallel_map(_traced_task, list(range(4)), jobs=2)
+        pooled = get_registry().snapshot()["counters"]["tasks_done"]
+        assert serial == pooled == 4
+
+    def test_results_unchanged_by_instrumentation(self):
+        assert parallel_map(_traced_task, [5, 6], jobs=2) == [25, 36]

@@ -10,6 +10,7 @@ import urllib.request
 import pytest
 
 from repro.attack.config import CONFIGS_BY_NAME
+from repro.obs import get_registry
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import AttackService, train_model
 from repro.serve.http import make_server
@@ -190,3 +191,74 @@ class TestRobustness:
         # The server must still answer the next request.
         status, document = _get(server, "/health")
         assert status == 200 and document["status"] == "ok"
+
+
+class TestObservability:
+    """``GET /metrics`` and the structured access log."""
+
+    def test_metrics_reports_request_counters(self, server):
+        get_registry().reset()
+        for _ in range(3):
+            assert _get(server, "/health")[0] == 200
+        _get(server, "/nope")
+        status, document = _get(server, "/metrics")
+        assert status == 200
+        counters = document["counters"]
+        assert (
+            counters["http_requests{method=GET,route=/health,status=200}"]
+            == 3
+        )
+        assert (
+            counters["http_requests{method=GET,route=other,status=404}"] == 1
+        )
+        assert document["uptime_s"] >= 0
+
+    def test_metrics_reports_latency_histograms(self, server):
+        get_registry().reset()
+        _get(server, "/health")
+        _, document = _get(server, "/metrics")
+        state = document["histograms"]["http_request_seconds{route=/health}"]
+        assert state["count"] == 1
+        assert state["sum"] >= 0
+        assert "+inf" in state["buckets"]
+
+    def test_metrics_includes_itself_on_next_scrape(self, server):
+        get_registry().reset()
+        _get(server, "/metrics")
+        _, document = _get(server, "/metrics")
+        assert (
+            document["counters"][
+                "http_requests{method=GET,route=/metrics,status=200}"
+            ]
+            >= 1
+        )
+
+    def test_predict_latency_recorded(self, server, views6):
+        get_registry().reset()
+        _post(server, "/predict", {"challenge": challenge_to_dict(views6[0])})
+        _, document = _get(server, "/metrics")
+        assert (
+            document["counters"][
+                "http_requests{method=POST,route=/predict,status=200}"
+            ]
+            == 1
+        )
+        state = document["histograms"]["http_request_seconds{route=/predict}"]
+        assert state["count"] == 1 and state["sum"] > 0
+
+    def test_access_log_records(self, server, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            _get(server, "/health")
+            _post(server, "/predict", b"{broken json")
+        records = [
+            r for r in caplog.records if r.name == "repro.serve.access"
+        ]
+        by_path = {r.path: r for r in records}
+        health = by_path["/health"]
+        assert health.method == "GET" and health.status == 200
+        assert health.duration_ms >= 0
+        assert health.response_bytes > 0
+        predict = by_path["/predict"]
+        assert predict.method == "POST" and predict.status == 400

@@ -1,0 +1,75 @@
+"""Tests for the benchmark timing recorder (benchmarks/conftest.py).
+
+The recorder lives in a conftest (so pytest-benchmark runs pick it up
+automatically); it is loaded here by path since ``benchmarks`` is not
+an importable package.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture(scope="module")
+def recorder():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestMakeRecord:
+    def test_fields(self, recorder):
+        record = recorder.make_record("suite.table1", "test_x", 0.25, rounds=3)
+        assert record["suite"] == "suite.table1"
+        assert record["case"] == "test_x"
+        assert record["wall_s"] == 0.25
+        assert record["throughput_per_s"] == 4.0
+        assert record["rounds"] == 3
+        assert record["recorded_utc"].endswith("Z")
+
+    def test_zero_wall_has_no_throughput(self, recorder):
+        assert recorder.make_record("s", "c", 0.0)["throughput_per_s"] is None
+
+
+class TestAppendRecords:
+    def test_creates_and_appends(self, recorder, tmp_path):
+        path = tmp_path / "BENCH_2026-08-07.json"
+        first = recorder.make_record("s", "a", 1.0)
+        recorder.append_records(path, [first])
+        second = recorder.make_record("s", "b", 2.0)
+        merged = recorder.append_records(path, [second])
+        assert [r["case"] for r in merged] == ["a", "b"]
+        with open(path) as handle:
+            assert json.load(handle) == merged
+
+    def test_garbage_file_starts_fresh(self, recorder, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("not json at all")
+        merged = recorder.append_records(
+            path, [recorder.make_record("s", "c", 0.5)]
+        )
+        assert len(merged) == 1
+        with open(path) as handle:
+            assert json.load(handle) == merged
+
+    def test_no_temp_litter(self, recorder, tmp_path):
+        path = tmp_path / "BENCH.json"
+        recorder.append_records(path, [recorder.make_record("s", "c", 0.5)])
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH.json"]
+
+
+class TestBenchJsonPath:
+    def test_env_override(self, recorder, tmp_path, monkeypatch):
+        monkeypatch.setenv(recorder.ENV_BENCH_JSON, str(tmp_path / "out.json"))
+        assert recorder.bench_json_path() == tmp_path / "out.json"
+
+    def test_default_is_dated_repo_file(self, recorder, monkeypatch):
+        monkeypatch.delenv(recorder.ENV_BENCH_JSON, raising=False)
+        path = recorder.bench_json_path()
+        assert path.parent == _CONFTEST.parent.parent
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"

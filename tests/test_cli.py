@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -198,8 +200,59 @@ class TestCommands:
         )
         assert rc == 2
 
-    def test_experiments_only_figure4(self, capsys):
-        rc = main(["experiments", "--scale", "0.08", "--only", "figure4"])
+    def test_experiments_only_figure4(self, tmp_path, capsys):
+        rc = main(
+            [
+                "experiments",
+                "--scale",
+                "0.08",
+                "--only",
+                "figure4",
+                "--manifest-dir",
+                str(tmp_path / "runs"),
+            ]
+        )
         assert rc == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
+        (manifest_path,) = (tmp_path / "runs").glob("*.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["command"] == "experiments"
+        assert "figure4" in manifest["experiments"]
+
+    def test_experiments_no_manifest(self, tmp_path, capsys):
+        rc = main(
+            [
+                "experiments",
+                "--scale",
+                "0.08",
+                "--only",
+                "figure4",
+                "--no-manifest",
+                "--manifest-dir",
+                str(tmp_path / "runs"),
+            ]
+        )
+        assert rc == 0
+        assert not (tmp_path / "runs").exists()
+        capsys.readouterr()
+
+    def test_cache_stats(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "feat"))
+        rc = main(["cache", "stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "feat") in out
+        assert "0 entries" in out
+        assert "hits" in out and "misses" in out
+
+    def test_cache_clear(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "feat"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "deadbeef.npz").write_bytes(b"x")
+        rc = main(["cache", "clear"])
+        assert rc == 0
+        assert "1" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.npz"))

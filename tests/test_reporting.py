@@ -24,6 +24,18 @@ class TestFormatting:
         assert format_value(0.12345) == "0.123"
         assert format_value("x") == "x"
 
+    def test_format_value_infinities(self):
+        assert format_value(float("inf")) == "--"
+        assert format_value(float("-inf")) == "--"
+
+    def test_format_value_numpy_scalars(self):
+        import numpy as np
+
+        assert format_value(np.float64(42.123)) == "42.1"
+        assert format_value(np.float32(0.5)) == "0.500"
+        assert format_value(np.float64("nan")) == "--"
+        assert format_value(np.float64("inf")) == "--"
+
     def test_format_percent(self):
         assert format_percent(0.4272) == "42.72%"
         assert format_percent(None) == "--"
