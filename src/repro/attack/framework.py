@@ -21,6 +21,7 @@ from typing import Iterator
 import numpy as np
 
 from ..ml.bagging import Bagging
+from ..ml.fit_engine import active_engine
 from ..ml.tree import RandomTree
 from ..obs.logging import get_logger
 from ..obs.metrics import counter
@@ -168,7 +169,9 @@ def train_attack(
                 if cache is not None and key is not None:
                     cache.put(key, {"X": training_set.X, "y": training_set.y})
             build.set(source=source, n_samples=training_set.n_samples)
-        with span("fit", n_estimators=config.n_estimators):
+        with span(
+            "fit", n_estimators=config.n_estimators, engine=active_engine()
+        ):
             model_seed = int(
                 np.random.default_rng(model_sequence).integers(2**63)
             )

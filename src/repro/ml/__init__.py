@@ -9,6 +9,7 @@ from .feature_metrics import (
     information_gain,
     rank_features,
 )
+from .fit_engine import active_engine, has_ckernel, resolve_engine
 from .forest import RandomForest
 from .knn import KNNClassifier
 from .linear import LinearRegression
@@ -26,11 +27,14 @@ __all__ = [
     "RandomTree",
     "ReliabilityCurve",
     "abs_correlation",
+    "active_engine",
     "brier_score",
     "calibration_report",
     "equal_frequency_bins",
     "fisher_ratio",
+    "has_ckernel",
     "information_gain",
     "rank_features",
     "reliability_curve",
+    "resolve_engine",
 ]

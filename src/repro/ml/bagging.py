@@ -33,13 +33,20 @@ class Bagging:
         n_estimators: int = 10,
         seed: int | np.random.Generator = 0,
         voting: str = "soft",
+        engine: str | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if voting not in ("soft", "hard"):
             raise ValueError(f"unknown voting scheme {voting!r}")
-        self.base_factory = base_factory or (lambda rng: REPTree(seed=rng))
+        # ``engine`` selects the fit engine (see repro.ml.fit_engine) for
+        # the default REPTree factory; a caller-supplied base_factory is
+        # responsible for threading it through itself.
+        self.base_factory = base_factory or (
+            lambda rng: REPTree(seed=rng, engine=engine)
+        )
         self.n_estimators = n_estimators
+        self.fit_engine = engine
         self.rng = np.random.default_rng(seed)
         self.voting = voting
         self.estimators_: list[DecisionTreeBase] = []

@@ -16,49 +16,19 @@ voting probability of paper Eq. (1),
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-_EPS = 1e-12
-
-
-def _entropy_terms(pos: np.ndarray, neg: np.ndarray) -> np.ndarray:
-    """Binary entropy (in nats) of count vectors, elementwise."""
-    total = pos + neg
-    total = np.maximum(total, _EPS)
-    p = pos / total
-    q = neg / total
-    return -(p * np.log(np.maximum(p, _EPS)) + q * np.log(np.maximum(q, _EPS)))
-
-
-@dataclass
-class _Node:
-    """Mutable tree node used while growing/pruning."""
-
-    grow_pos: float
-    grow_neg: float
-    feature: int = -1
-    threshold: float = 0.0
-    left: "_Node | None" = None
-    right: "_Node | None" = None
-    prune_pos: float = 0.0
-    prune_neg: float = 0.0
-    total_pos: float = 0.0
-    total_neg: float = 0.0
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.left is None
-
-    @property
-    def majority_positive(self) -> bool:
-        return self.grow_pos >= self.grow_neg
-
-    def make_leaf(self) -> None:
-        self.feature = -1
-        self.left = None
-        self.right = None
+from .fit_engine import (  # noqa: F401  (re-exported for compatibility)
+    _EPS,
+    _Node,
+    _entropy_scalar,
+    _entropy_terms,
+    _scan_sorted,
+    grow_tree,
+    resolve_engine,
+)
 
 
 def _best_split(
@@ -70,44 +40,25 @@ def _best_split(
 ) -> tuple[int, float, float] | None:
     """Best (feature, threshold, gain) over the candidate features.
 
-    Candidates are midpoints between consecutive distinct sorted values;
-    gain is the information gain of the induced binary partition.
+    This is the reference split search the presorted engines are held
+    bit-identical to: it argsorts each candidate column and hands the
+    sorted view to the shared :func:`repro.ml.fit_engine._scan_sorted`.
     """
     n = len(y)
     total_pos = float(y.sum())
     total_neg = n - total_pos
-    parent_entropy = float(_entropy_terms(np.array([total_pos]), np.array([total_neg]))[0])
+    parent_entropy = _entropy_scalar(total_pos, total_neg)
     best: tuple[int, float, float] | None = None
     for f in feature_indices:
         x = X[:, f]
         order = np.argsort(x, kind="stable")
-        xs = x[order]
-        ys = y[order]
-        if xs[0] == xs[-1]:
-            continue
-        cum_pos = np.cumsum(ys)
-        left_n = np.arange(1, n)
-        left_pos = cum_pos[:-1]
-        left_neg = left_n - left_pos
-        right_n = n - left_n
-        right_pos = total_pos - left_pos
-        right_neg = right_n - right_pos
-        valid = (xs[:-1] < xs[1:]) & (left_n >= min_samples_leaf) & (
-            right_n >= min_samples_leaf
+        found = _scan_sorted(
+            x[order], y[order], total_pos, min_samples_leaf, min_gain,
+            parent_entropy,
         )
-        if not valid.any():
+        if found is None:
             continue
-        child_entropy = (
-            left_n * _entropy_terms(left_pos, left_neg)
-            + right_n * _entropy_terms(right_pos, right_neg)
-        ) / n
-        gain = parent_entropy - child_entropy
-        gain[~valid] = -np.inf
-        k = int(np.argmax(gain))
-        g = float(gain[k])
-        if g <= min_gain:
-            continue
-        threshold = float((xs[k] + xs[k + 1]) / 2.0)
+        threshold, g = found
         if best is None or g > best[2]:
             best = (int(f), threshold, g)
     return best
@@ -158,10 +109,12 @@ class DecisionTreeBase:
         min_samples_leaf: int = 2,
         min_gain: float = 1e-7,
         seed: int | np.random.Generator = 0,
+        engine: str | None = None,
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.min_gain = min_gain
+        self.engine = engine
         self.rng = np.random.default_rng(seed)
         self._tree: _FrozenTree | None = None
         self._prior = 0.5
@@ -176,7 +129,47 @@ class DecisionTreeBase:
     # -- fitting --------------------------------------------------------
 
     def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        """Grow a (sub)tree iteratively (trees can be very deep)."""
+        """Grow a (sub)tree through the selected fit engine.
+
+        All engines produce node-for-node identical trees; see
+        :mod:`repro.ml.fit_engine` for the bit-identity contract.
+        """
+        engine = resolve_engine(self.engine)
+        if engine != "reference" and not self._presortable(y):
+            engine = "reference"
+        if engine == "reference":
+            return self._grow_reference(X, y, depth)
+        root, stats = grow_tree(
+            X,
+            y,
+            candidate_features=self._candidate_features,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            min_gain=self.min_gain,
+            depth=depth,
+            use_c=(engine == "c"),
+        )
+        self._record_grow_stats(engine, stats)
+        return root
+
+    @staticmethod
+    def _presortable(y: np.ndarray) -> bool:
+        """Presorted engines assume 0/1 labels (exact integer counts)."""
+        return bool(np.isin(y, (0.0, 1.0)).all())
+
+    @staticmethod
+    def _record_grow_stats(engine: str, stats: dict[str, int]) -> None:
+        try:
+            from ..obs.metrics import counter
+        except ImportError:  # pragma: no cover - obs is optional here
+            return
+        counter("tree_fits", engine=engine).inc()
+        counter("fit_split_nodes").inc(stats["splits"])
+        if stats["fallbacks"]:
+            counter("fit_kernel_fallbacks").inc(stats["fallbacks"])
+
+    def _grow_reference(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        """Reference grower: per-node argsorts (the bit-identity oracle)."""
 
         def new_node(ys: np.ndarray) -> _Node:
             pos = float(ys.sum())
@@ -383,8 +376,9 @@ class REPTree(DecisionTreeBase):
         min_gain: float = 1e-7,
         num_folds: int = 3,
         seed: int | np.random.Generator = 0,
+        engine: str | None = None,
     ) -> None:
-        super().__init__(max_depth, min_samples_leaf, min_gain, seed)
+        super().__init__(max_depth, min_samples_leaf, min_gain, seed, engine)
         if num_folds < 2:
             raise ValueError("num_folds must be >= 2")
         self.num_folds = num_folds

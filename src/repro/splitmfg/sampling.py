@@ -213,65 +213,113 @@ def neighborhood_negative_pairs(
         return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
     arr = view.arrays()
     out_area = arr["out_area"]
+    pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
+    if len(pool) < 2:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    # Directed (i -> j) codes of all true matches, for a vectorized
+    # equivalent of the per-candidate ``_is_match`` probe.
+    match_codes = np.sort(np.array(
+        [i * n + j for i, vpin in enumerate(view.vpins) for j in vpin.matches],
+        dtype=np.int64,
+    ))
     out_i: list[int] = []
     out_j: list[int] = []
     tries = 0
     limit = count * max_tries_factor
-    seen: set[tuple[int, int]] = set()
+    seen: set[int] = set()
     neighbor_cache: dict[int, np.ndarray] = {}
-    pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
-    if len(pool) < 2:
-        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    # The seed implementation drew one (i, then j | i) candidate per
+    # iteration and rejected matches / out-area pairs / duplicates.
+    # Drawing the same independent candidates in vector batches keeps the
+    # per-candidate acceptance process identical (each candidate is still
+    # i ~ uniform(pool), j ~ uniform(filtered neighbors of i)); only the
+    # generator's draw sequence differs, so outputs are equal in
+    # distribution rather than bit-equal to the seed's loop.
     while len(out_i) < count and tries < limit:
-        tries += 1
-        i = int(pool[rng.integers(len(pool))])
-        neighbors = neighbor_cache.get(i)
-        if neighbors is None:
-            neighbors = index.neighbors_of(i)
-            if allowed is not None and len(neighbors):
-                neighbors = neighbors[allowed[neighbors]]
-            if y_aligned_only and len(neighbors):
-                aligned = np.abs(arr["vy"][neighbors] - arr["vy"][i]) <= COORD_TOL
-                neighbors = neighbors[aligned]
-            if x_aligned_only and len(neighbors):
-                aligned = np.abs(arr["vx"][neighbors] - arr["vx"][i]) <= COORD_TOL
-                neighbors = neighbors[aligned]
-            neighbor_cache[i] = neighbors
-        if len(neighbors) == 0:
+        batch = int(min(limit - tries, max(128, count - len(out_i))))
+        tries += batch
+        ii = pool[rng.integers(len(pool), size=batch)]
+        u = rng.random(batch)
+        jj = np.full(batch, -1, dtype=np.int64)
+        for i in np.unique(ii):
+            neighbors = neighbor_cache.get(i)
+            if neighbors is None:
+                neighbors = index.neighbors_of(i)
+                if allowed is not None and len(neighbors):
+                    neighbors = neighbors[allowed[neighbors]]
+                if y_aligned_only and len(neighbors):
+                    aligned = np.abs(arr["vy"][neighbors] - arr["vy"][i]) <= COORD_TOL
+                    neighbors = neighbors[aligned]
+                if x_aligned_only and len(neighbors):
+                    aligned = np.abs(arr["vx"][neighbors] - arr["vx"][i]) <= COORD_TOL
+                    neighbors = neighbors[aligned]
+                neighbor_cache[i] = neighbors
+            if len(neighbors) == 0:
+                continue
+            sel = ii == i
+            jj[sel] = neighbors[(u[sel] * len(neighbors)).astype(np.int64)]
+        ok = jj >= 0
+        ci, cj = ii[ok].astype(np.int64), jj[ok]
+        if len(ci) and len(match_codes):
+            is_match = np.isin(ci * n + cj, match_codes, assume_unique=False)
+            ci, cj = ci[~is_match], cj[~is_match]
+        if len(ci):
+            keep = ~((out_area[ci] > 0) & (out_area[cj] > 0))
+            ci, cj = ci[keep], cj[keep]
+        if len(ci) == 0:
             continue
-        j = int(neighbors[rng.integers(len(neighbors))])
-        if _is_match(view, i, j):
-            continue
-        if out_area[i] > 0 and out_area[j] > 0:
-            continue
-        pair = (i, j) if i < j else (j, i)
-        if pair in seen:
-            continue
-        seen.add(pair)
-        out_i.append(pair[0])
-        out_j.append(pair[1])
+        lo = np.minimum(ci, cj)
+        hi = np.maximum(ci, cj)
+        codes = lo * n + hi
+        # First occurrence of each within-batch duplicate, in draw order.
+        _, first = np.unique(codes, return_index=True)
+        for k in np.sort(first):
+            code = int(codes[k])
+            if code in seen:
+                continue
+            seen.add(code)
+            out_i.append(int(lo[k]))
+            out_j.append(int(hi[k]))
+            if len(out_i) >= count:
+                break
     return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
 
 
 def iter_all_pairs(
     n: int, chunk_size: int = 500_000
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield all unordered index pairs of ``range(n)`` in bounded chunks."""
+    """Yield all unordered index pairs of ``range(n)`` in bounded chunks.
+
+    Chunks are whole runs of "rows" of the strict upper triangle (row
+    ``r`` pairs with every ``j > r``), cut greedily at the first row that
+    brings a chunk to ``chunk_size`` pairs -- the same boundaries the
+    seed's per-row accumulation loop produced, now computed arithmetically
+    from the triangular cumulative counts.
+    """
     if n < 2:
         return
-    buffer_i: list[np.ndarray] = []
-    buffer_j: list[np.ndarray] = []
-    buffered = 0
-    for row in range(n - 1):
-        js = np.arange(row + 1, n)
-        buffer_i.append(np.full(len(js), row, dtype=int))
-        buffer_j.append(js)
-        buffered += len(js)
-        if buffered >= chunk_size:
-            yield np.concatenate(buffer_i), np.concatenate(buffer_j)
-            buffer_i, buffer_j, buffered = [], [], 0
-    if buffered:
-        yield np.concatenate(buffer_i), np.concatenate(buffer_j)
+    counts = np.arange(n - 1, 0, -1, dtype=np.int64)  # row r has n-1-r pairs
+    ends = np.cumsum(counts)
+    row = 0
+    base = 0
+    while row < n - 1:
+        # First row whose cumulative pair count reaches base + chunk_size
+        # (clamped: the tail may fall short of a full chunk).
+        cut = min(
+            int(np.searchsorted(ends, base + chunk_size, side="left")), n - 2
+        )
+        rows = np.arange(row, cut + 1, dtype=np.int64)
+        row_counts = counts[rows]
+        starts = ends[rows] - row_counts - base  # chunk-relative row starts
+        total = int(ends[cut] - base)
+        i = np.repeat(rows, row_counts)
+        # Within row r, chunk position p maps to j = p - start(r) + r + 1,
+        # so j is a flat arange plus a repeated per-row offset.
+        j = np.arange(total, dtype=np.int64)
+        j += np.repeat(rows + 1 - starts, row_counts)
+        yield i, j
+        row = cut + 1
+        base = int(ends[cut])
 
 
 def build_training_set(

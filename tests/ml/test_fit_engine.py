@@ -1,0 +1,241 @@
+"""Bit-identity and resolution tests for the presorted fit engine.
+
+The contract under test (see ``repro/ml/fit_engine.py``): every engine
+-- presorted NumPy scan and compiled C kernel -- grows node-for-node
+identical trees to the reference per-node-argsort grower, on every
+input including ties, duplicated columns, constant features,
+``min_samples_leaf`` edges and depth-cap hits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import fit_engine
+from repro.ml.bagging import Bagging
+from repro.ml.fit_engine import (
+    _entropy_scalar,
+    _entropy_terms,
+    active_engine,
+    grow_tree,
+    has_ckernel,
+    resolve_engine,
+)
+from repro.ml.forest import RandomForest
+from repro.ml.tree import REPTree, RandomTree
+
+needs_ckernel = pytest.mark.skipif(
+    not has_ckernel(), reason="no C compiler available"
+)
+
+ENGINES = ["numpy"] + (["c"] if has_ckernel() else [])
+
+
+def _frozen_tuple(model):
+    tree = model._tree
+    return (
+        tree.feature.tolist(),
+        tree.threshold.tolist(),
+        tree.left.tolist(),
+        tree.right.tolist(),
+        tree.pos.tolist(),
+        tree.neg.tolist(),
+    )
+
+
+def _make_dataset(kind: str, n: int, rng: np.random.Generator):
+    """Datasets exercising the split-search edge cases."""
+    n_features = 7
+    X = rng.normal(size=(n, n_features))
+    if kind == "ties":
+        X = np.round(X, 1)  # heavy duplicate values per column
+    elif kind == "constant":
+        X[:, 0] = 3.25
+        X[:, 3] = -1.0
+    elif kind == "duplicated":
+        X[:, 1] = X[:, 2]  # equal-gain features: cross-feature ties
+        X[:, 4] = np.round(X[:, 4], 0)
+    elif kind == "binaryish":
+        X = (X > 0).astype(float)  # every candidate is a tie cluster
+    y = (X.sum(axis=1) + rng.normal(scale=0.8, size=n) > 0).astype(float)
+    return X, y
+
+
+DATASET_KINDS = ["plain", "ties", "constant", "duplicated", "binaryish"]
+
+
+class TestEngineEquality:
+    """Property-style grid: presorted/C fits == reference fits."""
+
+    @pytest.mark.parametrize("kind", DATASET_KINDS)
+    @pytest.mark.parametrize("n", [30, 200, 1000])
+    def test_reptree_identical_trees(self, kind, n):
+        rng = np.random.default_rng([DATASET_KINDS.index(kind), n])
+        X, y = _make_dataset(kind, n, rng)
+        reference = REPTree(seed=5, engine="reference").fit(X, y)
+        X_test = rng.normal(size=(64, X.shape[1]))
+        for engine in ENGINES:
+            model = REPTree(seed=5, engine=engine).fit(X, y)
+            assert _frozen_tuple(model) == _frozen_tuple(reference), engine
+            assert np.array_equal(
+                model.predict_proba(X_test), reference.predict_proba(X_test)
+            )
+
+    @pytest.mark.parametrize("kind", DATASET_KINDS)
+    @pytest.mark.parametrize("min_samples_leaf", [1, 2, 5])
+    def test_randomtree_identical_trees(self, kind, min_samples_leaf):
+        """RandomTree: per-node RNG feature sampling must stay in sync."""
+        rng = np.random.default_rng([DATASET_KINDS.index(kind), min_samples_leaf])
+        X, y = _make_dataset(kind, 300, rng)
+        reference = RandomTree(
+            seed=9, min_samples_leaf=min_samples_leaf, engine="reference"
+        ).fit(X, y)
+        X_test = rng.normal(size=(64, X.shape[1]))
+        for engine in ENGINES:
+            model = RandomTree(
+                seed=9, min_samples_leaf=min_samples_leaf, engine=engine
+            ).fit(X, y)
+            assert _frozen_tuple(model) == _frozen_tuple(reference), engine
+            assert np.array_equal(
+                model.predict_proba(X_test), reference.predict_proba(X_test)
+            )
+
+    @pytest.mark.parametrize("max_depth", [2, 4, 25])
+    def test_depth_cap_hits(self, max_depth):
+        rng = np.random.default_rng(77)
+        X, y = _make_dataset("ties", 500, rng)
+        reference = REPTree(
+            seed=1, max_depth=max_depth, engine="reference"
+        ).fit(X, y)
+        for engine in ENGINES:
+            model = REPTree(seed=1, max_depth=max_depth, engine=engine).fit(X, y)
+            assert _frozen_tuple(model) == _frozen_tuple(reference), engine
+            assert model.depth <= max_depth
+
+    @pytest.mark.parametrize("min_samples_leaf", [1, 2, 7])
+    def test_min_samples_leaf_edges(self, min_samples_leaf):
+        rng = np.random.default_rng(13)
+        # n barely above 2*msl plus a pure-class column tempting an
+        # msl-violating split.
+        X, y = _make_dataset("ties", 2 * min_samples_leaf + 3, rng)
+        reference = REPTree(
+            seed=2, min_samples_leaf=min_samples_leaf, engine="reference"
+        ).fit(X, y)
+        for engine in ENGINES:
+            model = REPTree(
+                seed=2, min_samples_leaf=min_samples_leaf, engine=engine
+            ).fit(X, y)
+            assert _frozen_tuple(model) == _frozen_tuple(reference), engine
+
+    def test_ensembles_identical(self):
+        rng = np.random.default_rng(21)
+        X, y = _make_dataset("ties", 400, rng)
+        X_test = rng.normal(size=(120, X.shape[1]))
+        reference = Bagging(seed=4, engine="reference").fit(X, y)
+        rf_reference = RandomForest(
+            n_estimators=6, seed=4, engine="reference"
+        ).fit(X, y)
+        for engine in ENGINES:
+            bag = Bagging(seed=4, engine=engine).fit(X, y)
+            assert np.array_equal(
+                bag.predict_proba(X_test), reference.predict_proba(X_test)
+            )
+            forest = RandomForest(n_estimators=6, seed=4, engine=engine).fit(X, y)
+            assert np.array_equal(
+                forest.predict_proba(X_test),
+                rf_reference.predict_proba(X_test),
+            )
+
+    def test_single_class_and_tiny_inputs(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        for y in (np.zeros(3), np.ones(3)):
+            for engine in ENGINES:
+                model = REPTree(seed=0, engine=engine).fit(X, y)
+                assert model.n_nodes == 1  # pure node: no split
+
+    def test_non_binary_labels_fall_back_to_reference(self):
+        """Presorted engines assume 0/1 labels; others use the oracle."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 3))
+        y = rng.random(60)  # fractional "labels"
+        reference = REPTree(seed=6, engine="reference").fit(X, y)
+        model = REPTree(seed=6).fit(X, y)  # auto
+        assert _frozen_tuple(model) == _frozen_tuple(reference)
+
+
+class TestGrowTree:
+    def test_stats_counters(self):
+        rng = np.random.default_rng(8)
+        X, y = _make_dataset("plain", 200, rng)
+        root, stats = grow_tree(
+            X,
+            y,
+            candidate_features=lambda n_features: np.arange(n_features),
+            max_depth=25,
+            min_samples_leaf=2,
+            min_gain=1e-7,
+        )
+        assert stats["nodes"] == 2 * stats["splits"] + 1
+        assert not root.is_leaf
+
+    def test_forced_c_without_kernel_raises(self, monkeypatch):
+        monkeypatch.setattr(fit_engine, "_kernel", None)
+        monkeypatch.setattr(fit_engine, "_kernel_tried", True)
+        with pytest.raises(RuntimeError):
+            grow_tree(
+                np.zeros((4, 2)),
+                np.array([0.0, 1.0, 0.0, 1.0]),
+                candidate_features=np.arange,
+                max_depth=5,
+                min_samples_leaf=1,
+                min_gain=1e-7,
+                use_c=True,
+            )
+
+
+class TestEntropyScalar:
+    def test_bitwise_equal_to_array_form(self):
+        """The hoisted scalar parent entropy must be bit-identical to the
+        seed's throwaway 1-element-array computation."""
+        counts = [0.0, 1.0, 2.0, 3.0, 7.0, 10.0, 97.0, 1000.0, 12345.0]
+        for pos in counts:
+            for neg in counts:
+                array_form = float(
+                    _entropy_terms(np.array([pos]), np.array([neg]))[0]
+                )
+                assert _entropy_scalar(pos, neg) == array_form, (pos, neg)
+
+
+class TestEngineResolution:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_ENGINE", "reference")
+        assert resolve_engine(None) == "reference"
+        assert resolve_engine("numpy") == "numpy"  # explicit beats env
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("fortran")
+
+    def test_auto_without_kernel_is_numpy(self, monkeypatch):
+        monkeypatch.setattr(fit_engine, "_kernel", None)
+        monkeypatch.setattr(fit_engine, "_kernel_tried", True)
+        assert resolve_engine("auto") == "numpy"
+        assert active_engine() == "numpy"
+        with pytest.raises(RuntimeError):
+            resolve_engine("c")
+
+    @needs_ckernel
+    def test_auto_with_kernel_is_c(self):
+        assert resolve_engine(None) in ("c", "numpy", "reference")
+        assert resolve_engine("auto") == "c"
+
+    def test_active_engine_never_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_ENGINE", "c")
+        monkeypatch.setattr(fit_engine, "_kernel", None)
+        monkeypatch.setattr(fit_engine, "_kernel_tried", True)
+        assert active_engine() == "numpy"
+
+    def test_no_ckernel_env_disables_compilation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_NO_CKERNEL", "1")
+        monkeypatch.setattr(fit_engine, "_kernel", None)
+        monkeypatch.setattr(fit_engine, "_kernel_tried", False)
+        assert fit_engine._get_kernel() is None

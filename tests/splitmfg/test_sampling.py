@@ -207,6 +207,155 @@ class TestIterAllPairs:
         assert len(chunks) == 1
 
 
+def _legacy_iter_all_pairs(n, chunk_size=500_000):
+    """The seed's per-row accumulation loop, kept as the oracle for the
+    arithmetic chunk generation (boundaries and order must be identical)."""
+    if n < 2:
+        return
+    buffer_i, buffer_j, buffered = [], [], 0
+    for row in range(n - 1):
+        js = np.arange(row + 1, n)
+        buffer_i.append(np.full(len(js), row, dtype=int))
+        buffer_j.append(js)
+        buffered += len(js)
+        if buffered >= chunk_size:
+            yield np.concatenate(buffer_i), np.concatenate(buffer_j)
+            buffer_i, buffer_j, buffered = [], [], 0
+    if buffered:
+        yield np.concatenate(buffer_i), np.concatenate(buffer_j)
+
+
+class TestIterAllPairsEquivalence:
+    @pytest.mark.parametrize("n", [2, 3, 5, 17, 100, 357])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 500, 501, 500_000])
+    def test_chunks_identical_to_legacy_loop(self, n, chunk_size):
+        new = list(iter_all_pairs(n, chunk_size))
+        old = list(_legacy_iter_all_pairs(n, chunk_size))
+        assert len(new) == len(old)
+        for (ni, nj), (oi, oj) in zip(new, old):
+            assert ni.dtype == np.int64 and nj.dtype == np.int64
+            assert np.array_equal(ni, oi)
+            assert np.array_equal(nj, oj)
+
+
+def _legacy_neighborhood_negative_pairs(
+    view,
+    count,
+    index,
+    rng,
+    y_aligned_only=False,
+    x_aligned_only=False,
+    max_tries_factor=50,
+    allowed=None,
+):
+    """The seed's one-candidate-per-iteration rejection loop, kept as the
+    distribution oracle for the batched sampler."""
+    n = len(view)
+    if n < 2 or count <= 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    arr = view.arrays()
+    out_area = arr["out_area"]
+    out_i, out_j, tries = [], [], 0
+    limit = count * max_tries_factor
+    seen = set()
+    neighbor_cache = {}
+    pool = np.arange(n) if allowed is None else np.nonzero(allowed)[0]
+    if len(pool) < 2:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    while len(out_i) < count and tries < limit:
+        tries += 1
+        i = int(pool[rng.integers(len(pool))])
+        neighbors = neighbor_cache.get(i)
+        if neighbors is None:
+            neighbors = index.neighbors_of(i)
+            if allowed is not None and len(neighbors):
+                neighbors = neighbors[allowed[neighbors]]
+            if y_aligned_only and len(neighbors):
+                aligned = np.abs(arr["vy"][neighbors] - arr["vy"][i]) <= 1e-6
+                neighbors = neighbors[aligned]
+            if x_aligned_only and len(neighbors):
+                aligned = np.abs(arr["vx"][neighbors] - arr["vx"][i]) <= 1e-6
+                neighbors = neighbors[aligned]
+            neighbor_cache[i] = neighbors
+        if len(neighbors) == 0:
+            continue
+        j = int(neighbors[rng.integers(len(neighbors))])
+        if j in view.vpins[i].matches:
+            continue
+        if out_area[i] > 0 and out_area[j] > 0:
+            continue
+        pair = (i, j) if i < j else (j, i)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        out_i.append(pair[0])
+        out_j.append(pair[1])
+    return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
+
+
+class TestNeighborhoodSamplerEquivalence:
+    """The batched rejection sampler is output-distribution equivalent to
+    the seed's sequential loop (the RNG draw sequence itself differs:
+    batches draw i's and j-uniforms up front)."""
+
+    def test_deterministic_per_seed(self, view8):
+        index = NeighborhoodIndex(view8, 0.4 * view8.half_perimeter)
+        a = neighborhood_negative_pairs(
+            view8, 40, index, np.random.default_rng(3)
+        )
+        b = neighborhood_negative_pairs(
+            view8, 40, index, np.random.default_rng(3)
+        )
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_exhaustive_draw_matches_legacy_set(self, view8):
+        """With enough tries both samplers enumerate exactly the eligible
+        pair set, so the supports must coincide."""
+        index = NeighborhoodIndex(view8, 0.4 * view8.half_perimeter)
+        new_i, new_j = neighborhood_negative_pairs(
+            view8, 10_000, index, np.random.default_rng(0),
+            max_tries_factor=500,
+        )
+        old_i, old_j = _legacy_neighborhood_negative_pairs(
+            view8, 10_000, index, np.random.default_rng(0),
+            max_tries_factor=500,
+        )
+        assert len(new_i) > 0
+        assert set(zip(new_i.tolist(), new_j.tolist())) == set(
+            zip(old_i.tolist(), old_j.tolist())
+        )
+
+    def test_first_draw_frequencies_match_legacy(self, view8):
+        """count=1 output frequencies agree within sampling noise: the
+        total-variation distance between the two empirical distributions
+        stays near the ~sqrt(support/trials) noise floor."""
+        index = NeighborhoodIndex(view8, 0.4 * view8.half_perimeter)
+        trials = 1500
+        freq_new: dict[tuple[int, int], int] = {}
+        freq_old: dict[tuple[int, int], int] = {}
+        for seed in range(trials):
+            i, j = neighborhood_negative_pairs(
+                view8, 1, index, np.random.default_rng(50_000 + seed)
+            )
+            if len(i):
+                key = (int(i[0]), int(j[0]))
+                freq_new[key] = freq_new.get(key, 0) + 1
+            i, j = _legacy_neighborhood_negative_pairs(
+                view8, 1, index, np.random.default_rng(50_000 + seed)
+            )
+            if len(i):
+                key = (int(i[0]), int(j[0]))
+                freq_old[key] = freq_old.get(key, 0) + 1
+        support = set(freq_new) | set(freq_old)
+        assert support
+        tv = 0.5 * sum(
+            abs(freq_new.get(k, 0) - freq_old.get(k, 0)) / trials
+            for k in support
+        )
+        noise_floor = np.sqrt(len(support) / trials)
+        assert tv < 2 * noise_floor, (tv, noise_floor)
+
+
 class TestBuildTrainingSet:
     def test_balanced(self, views8):
         rng = np.random.default_rng(4)
