@@ -89,6 +89,48 @@ def test_fit_ckernel(benchmark, training_problem):
     assert model.n_nodes > 1
 
 
+def test_mlp_fit(benchmark, training_problem):
+    """The neural backend's fit on a paper-scale subset (25k x 11).
+
+    A fixed 20-epoch budget (no early stopping) keeps the measured work
+    identical across machines, so BENCH_<date>.json entries compare.
+    """
+    from repro.ml.mlp import MLPClassifier
+
+    X, y = training_problem
+    X, y = X[:25_000], y[:25_000]
+    model = benchmark.pedantic(
+        lambda: MLPClassifier(
+            hidden_layers=(32, 16),
+            batch_size=256,
+            max_epochs=20,
+            validation_fraction=0.0,
+            seed=3,
+        ).fit(X, y),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.n_epochs_ == 20
+
+
+def test_mlp_predict(benchmark, training_problem):
+    """Forward-pass throughput on the full 100k x 11 matrix."""
+    from repro.ml.mlp import MLPClassifier
+
+    X, y = training_problem
+    model = MLPClassifier(
+        hidden_layers=(32, 16),
+        batch_size=256,
+        max_epochs=5,
+        validation_fraction=0.0,
+        seed=3,
+    ).fit(X[:10_000], y[:10_000])
+    prob = benchmark.pedantic(
+        lambda: model.predict_proba(X), rounds=3, iterations=1
+    )
+    assert prob.shape == (len(X),)
+
+
 def test_fit_speedup_meets_training_bar(training_problem):
     """C kernel >= 3x and NumPy presorted >= 1.5x over the reference
     grower on the paper-scale set, with bit-identical trees."""

@@ -18,9 +18,41 @@ from ..splitmfg.pair_features import FEATURE_SETS
 from ..splitmfg.sampling import DEFAULT_NEIGHBORHOOD_PERCENTILE
 
 
+def _freeze_value(value: object) -> object:
+    """Recursively turn lists (from JSON round-trips) into tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    return value
+
+
+def _freeze_params(
+    params: object,
+) -> tuple[tuple[str, object], ...]:
+    """Normalize backend params to a hashable tuple of (key, value)."""
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = list(params or ())
+    frozen = []
+    for item in items:
+        key, value = item
+        frozen.append((str(key), _freeze_value(value)))
+    return tuple(frozen)
+
+
 @dataclass(frozen=True)
 class AttackConfig:
-    """All knobs of one machine-learning attack variant."""
+    """All knobs of one machine-learning attack variant.
+
+    ``backend`` names the classifier backend in the
+    :mod:`repro.ml.backends` registry (resolved when the classifier is
+    constructed, so configs stay import-light); ``backend_params`` are
+    extra constructor parameters as a tuple of ``(key, value)`` pairs
+    (kept hashable for the frozen dataclass, normalized from the nested
+    lists a JSON round-trip produces).  For the default ``bagging``
+    backend, ``n_estimators``/``base_classifier``/``voting`` keep their
+    historical meaning and are forwarded automatically.
+    """
 
     name: str
     n_features: int = 9
@@ -30,6 +62,8 @@ class AttackConfig:
     n_estimators: int = 10
     base_classifier: str = "reptree"  # "reptree" | "randomtree"
     voting: str = "soft"
+    backend: str = "bagging"
+    backend_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_features not in FEATURE_SETS:
@@ -39,6 +73,9 @@ class AttackConfig:
             )
         if self.base_classifier not in ("reptree", "randomtree"):
             raise ValueError(f"unknown base classifier {self.base_classifier!r}")
+        object.__setattr__(
+            self, "backend_params", _freeze_params(self.backend_params)
+        )
 
     @property
     def features(self) -> tuple[str, ...]:
@@ -49,6 +86,22 @@ class AttackConfig:
         if self.limit_top_axis:
             return self
         return replace(self, name=f"{self.name}Y", limit_top_axis=True)
+
+    def with_backend(self, backend: str, **params: object) -> "AttackConfig":
+        """This configuration re-pointed at another classifier backend.
+
+        The name gains a ``+<backend>`` suffix (unless the backend is
+        unchanged) so reports and registry entries stay distinguishable.
+        """
+        if backend == self.backend and not params:
+            return self
+        suffix = "" if backend == self.backend else f"+{backend}"
+        return replace(
+            self,
+            name=f"{self.name}{suffix}",
+            backend=backend,
+            backend_params=_freeze_params(params),
+        )
 
 
 ML_9 = AttackConfig(name="ML-9", n_features=9, scalable=False)

@@ -16,13 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
-from ..ml.bagging import Bagging
+from ..ml.backends import ClassifierBackend, create_backend
 from ..ml.fit_engine import active_engine
-from ..ml.tree import RandomTree
 from ..obs.logging import get_logger
 from ..obs.metrics import counter
 from ..obs.trace import span
@@ -54,16 +53,31 @@ DEFAULT_CHUNK_SIZE = 400_000
 logger = get_logger("attack.framework")
 
 
-def make_classifier(config: AttackConfig, seed: int) -> Bagging:
-    """The configured Bagging classifier (REPTree or RandomTree bases)."""
-    if config.base_classifier == "randomtree":
-        return Bagging(
-            base_factory=lambda rng: RandomTree(min_samples_leaf=1, seed=rng),
-            n_estimators=config.n_estimators,
-            seed=seed,
-            voting=config.voting,
-        )
-    return Bagging(n_estimators=config.n_estimators, seed=seed, voting=config.voting)
+def make_backend(config: AttackConfig) -> "ClassifierBackend":
+    """The unfitted classifier backend named by ``config.backend``.
+
+    Resolution goes through the :mod:`repro.ml.backends` registry; for
+    the default ``bagging`` backend, the config's historical ensemble
+    knobs (``n_estimators``/``base_classifier``/``voting``) are
+    forwarded unless ``backend_params`` overrides them.
+    """
+    params = dict(config.backend_params)
+    if config.backend == "bagging":
+        params.setdefault("n_estimators", config.n_estimators)
+        params.setdefault("voting", config.voting)
+        params.setdefault("base", config.base_classifier)
+    return create_backend(config.backend, **params)
+
+
+def make_classifier(config: AttackConfig, seed: int):
+    """The configured classifier, constructed via the backend registry.
+
+    Every backend receives ``seed`` through the same path (deterministic
+    backends ignore it); for the default configs this builds exactly the
+    Bagging ensembles the paper uses, bit-identical to the pre-registry
+    construction.
+    """
+    return make_backend(config).build(seed)
 
 
 def _limit_axis(config: AttackConfig, views: list[SplitView]) -> str | None:
@@ -83,10 +97,14 @@ def _limit_axis(config: AttackConfig, views: list[SplitView]) -> str | None:
 
 @dataclass
 class TrainedAttack:
-    """A fitted classifier plus the preprocessing decisions it was fit with."""
+    """A fitted classifier plus the preprocessing decisions it was fit with.
+
+    ``model`` is whatever the configured backend built -- a tree
+    ensemble, an MLP, or any duck-typed object with ``predict_proba``.
+    """
 
     config: AttackConfig
-    model: Bagging
+    model: Any
     neighborhood: float | None
     limit_axis: str | None
     train_time: float
@@ -170,7 +188,10 @@ def train_attack(
                     cache.put(key, {"X": training_set.X, "y": training_set.y})
             build.set(source=source, n_samples=training_set.n_samples)
         with span(
-            "fit", n_estimators=config.n_estimators, engine=active_engine()
+            "fit",
+            backend=config.backend,
+            n_estimators=config.n_estimators,
+            engine=active_engine(),
         ):
             model_seed = int(
                 np.random.default_rng(model_sequence).integers(2**63)

@@ -7,8 +7,9 @@ Commands:
 * ``attack``   -- run a leave-one-out attack over the suite and print
   the headline metrics for one configuration;
 * ``experiments`` -- run the named paper experiments (or all of them);
-* ``train-model`` -- train an attack classifier and save it to a model
-  registry (``repro.serve``);
+* ``train-model`` -- train an attack classifier (any registered backend
+  via ``--backend``: bagging, randomforest, knn, logistic, mlp) and save
+  it to a model registry (``repro.serve``);
 * ``predict``  -- score a public challenge file with a registry model;
 * ``serve``    -- serve registry models over a JSON HTTP API;
 * ``models``   -- list the models in a registry;
@@ -127,20 +128,14 @@ def _cmd_challenge(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    from .attack.config import CONFIGS_BY_NAME
     from .attack.framework import run_loo
     from .attack.proximity import pa_success_rate
     from .reporting import ascii_table, format_percent
     from .splitmfg.vpin_features import make_split_view
     from .synth.benchmarks import build_suite
 
-    config = CONFIGS_BY_NAME.get(args.config)
+    config = _resolve_config(args)
     if config is None:
-        print(
-            f"unknown configuration {args.config!r}; "
-            f"choose from {sorted(CONFIGS_BY_NAME)}",
-            file=sys.stderr,
-        )
         return 2
     _configure_cache(args)
     designs = build_suite(scale=args.scale)
@@ -181,10 +176,10 @@ def _load_views(args: argparse.Namespace) -> list:
     return [make_split_view(design, args.layer) for design in designs]
 
 
-def _cmd_train_model(args: argparse.Namespace) -> int:
+def _resolve_config(args: argparse.Namespace):
+    """The AttackConfig for ``--config`` (re-pointed at ``--backend``)."""
     from .attack.config import CONFIGS_BY_NAME
-    from .serve import ModelRegistry
-    from .serve.service import train_model
+    from .ml.backends import list_backends
 
     config = CONFIGS_BY_NAME.get(args.config)
     if config is None:
@@ -193,6 +188,26 @@ def _cmd_train_model(args: argparse.Namespace) -> int:
             f"choose from {sorted(CONFIGS_BY_NAME)}",
             file=sys.stderr,
         )
+        return None
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        if backend not in list_backends():
+            print(
+                f"unknown backend {backend!r}; "
+                f"choose from {list_backends()}",
+                file=sys.stderr,
+            )
+            return None
+        config = config.with_backend(backend)
+    return config
+
+
+def _cmd_train_model(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry
+    from .serve.service import train_model
+
+    config = _resolve_config(args)
+    if config is None:
         return 2
     views = _load_views(args)
     artifact = train_model(config, views, seed=args.seed)
@@ -296,7 +311,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
     ]
     print(
         ascii_table(
-            ("model", "kind", "config", "layer", "#trees", "trained on"),
+            ("model", "kind", "config", "layer", "#est", "trained on"),
             rows,
             title=f"registry {args.registry}",
         )
@@ -424,6 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="run a LOO attack on the suite")
     attack.add_argument("--config", default="Imp-11")
+    attack.add_argument(
+        "--backend",
+        default=None,
+        help="classifier backend (bagging, randomforest, knn, logistic, "
+        "mlp; default: the config's backend)",
+    )
     attack.add_argument("--layer", type=int, default=8)
     attack.add_argument("--scale", type=positive_scale, default=0.3)
     attack.add_argument("--seed", type=int, default=0)
@@ -492,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
         "train-model", help="train a classifier and register it for serving"
     )
     train_model.add_argument("--config", default="Imp-11")
+    train_model.add_argument(
+        "--backend",
+        default=None,
+        help="classifier backend (bagging, randomforest, knn, logistic, "
+        "mlp; default: the config's backend)",
+    )
     train_model.add_argument("--layer", type=int, default=8)
     train_model.add_argument("--scale", type=positive_scale, default=0.3)
     train_model.add_argument("--seed", type=int, default=0)

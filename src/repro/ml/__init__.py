@@ -1,5 +1,13 @@
 """From-scratch machine-learning substrate (Weka-equivalent components)."""
 
+from .backends import (
+    BackendError,
+    ClassifierBackend,
+    create_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from .bagging import Bagging
 from .calibration import ReliabilityCurve, brier_score, calibration_report, reliability_curve
 from .feature_metrics import (
@@ -14,14 +22,18 @@ from .forest import RandomForest
 from .knn import KNNClassifier
 from .linear import LinearRegression
 from .logistic import LogisticRegression
+from .mlp import MLPClassifier
 from .tree import DecisionTreeBase, RandomTree, REPTree
 
 __all__ = [
+    "BackendError",
     "Bagging",
+    "ClassifierBackend",
     "DecisionTreeBase",
     "KNNClassifier",
     "LinearRegression",
     "LogisticRegression",
+    "MLPClassifier",
     "REPTree",
     "RandomForest",
     "RandomTree",
@@ -30,11 +42,15 @@ __all__ = [
     "active_engine",
     "brier_score",
     "calibration_report",
+    "create_backend",
     "equal_frequency_bins",
     "fisher_ratio",
+    "get_backend",
     "has_ckernel",
     "information_gain",
+    "list_backends",
     "rank_features",
+    "register_backend",
     "reliability_curve",
     "resolve_engine",
 ]

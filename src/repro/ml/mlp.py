@@ -1,0 +1,355 @@
+"""From-scratch NumPy multi-layer perceptron classifier.
+
+The neural backend of the pluggable-classifier subsystem
+(:mod:`repro.ml.backends`): "Attacking Split Manufacturing from a Deep
+Learning Perspective" (arXiv:2007.03989) shows a learned neural model
+beating the tree-based attack on the same v-pin matching problem, so the
+bake-off needs a neural row built from the same primitives as the rest
+of the repository -- NumPy only, no framework.
+
+Architecture and training loop:
+
+* configurable fully-connected hidden layers with ReLU activations;
+* a 2-unit softmax output trained with cross-entropy loss;
+* mini-batch SGD with classical momentum;
+* input standardization (mean/std learned on the training matrix);
+* early stopping on a seeded validation split, restoring the best
+  weights seen.
+
+Determinism contract (the same one the trees obey): given the same
+``seed``, ``fit`` visits the same validation split, the same shuffled
+mini-batches and the same float64 operations, so the weights -- and
+therefore every probability -- are bit-identical across reruns and
+across ``--jobs`` settings (training is single-process NumPy; fold
+parallelism never splits one ``fit``).
+
+Observability: ``fit`` runs under an ``mlp_fit`` span whose attributes
+carry the epoch count and final losses; per-epoch training loss feeds
+the ``mlp_train_loss`` histogram and epochs increment the ``mlp_epochs``
+counter (see OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..obs.metrics import counter, histogram
+from ..obs.trace import span
+
+_EPS = 1e-12
+
+#: Histogram buckets for per-epoch cross-entropy losses (nats).
+LOSS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 2.0)
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, stabilized by the row max."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+class MLPClassifier:
+    """Binary MLP: ReLU hidden layers, softmax head, SGD + momentum.
+
+    ``seed`` may be an ``int`` or a ``numpy.random.Generator`` (the same
+    convention as the trees); it drives weight initialization, the
+    validation split and the mini-batch shuffles.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (32, 16),
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        max_epochs: int = 200,
+        patience: int = 10,
+        validation_fraction: float = 0.1,
+        tol: float = 1e-5,
+        l2: float = 0.0,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        hidden_layers = tuple(int(h) for h in hidden_layers)
+        if not hidden_layers or any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden_layers must be a non-empty tuple of >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.hidden_layers = hidden_layers
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.validation_fraction = validation_fraction
+        self.tol = tol
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self.loss_curve_: list[float] = []
+        self.validation_curve_: list[float] = []
+        self.n_epochs_: int = 0
+        self.stopped_early_: bool = False
+        self.n_features_: int | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # -- internals ------------------------------------------------------
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (X - self._mean) / self._std
+
+    def _forward(self, Z: np.ndarray) -> list[np.ndarray]:
+        """All layer activations for standardized input ``Z``.
+
+        Returns ``[Z, h1, ..., hk, p]`` where ``p`` are the softmax
+        probabilities -- everything backprop needs.
+        """
+        assert self.weights_ is not None and self.biases_ is not None
+        activations = [Z]
+        for layer, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            pre = activations[-1] @ W + b
+            last = layer == len(self.weights_) - 1
+            activations.append(_softmax(pre) if last else _relu(pre))
+        return activations
+
+    def _loss(self, prob: np.ndarray, y: np.ndarray) -> float:
+        """Mean cross-entropy of probabilities against 0/1 labels."""
+        picked = prob[np.arange(len(y)), y.astype(np.int64)]
+        return float(-np.mean(np.log(np.maximum(picked, _EPS))))
+
+    def _init_parameters(
+        self, n_features: int, rng: np.random.Generator
+    ) -> None:
+        """He-initialized weights, zero biases, for dims f->h1->...->2."""
+        dims = (n_features, *self.hidden_layers, 2)
+        self.weights_ = [
+            rng.normal(size=(fan_in, fan_out)) * np.sqrt(2.0 / fan_in)
+            for fan_in, fan_out in zip(dims[:-1], dims[1:])
+        ]
+        self.biases_ = [np.zeros(fan_out) for fan_out in dims[1:]]
+
+    # -- training -------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y disagree on sample count")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        n, n_features = X.shape
+        self.n_features_ = int(n_features)
+        self._mean = X.mean(axis=0)
+        self._std = np.maximum(X.std(axis=0), _EPS)
+        Z = self._standardize(X)
+        labels = (y > 0.5).astype(np.int64)
+        rng = np.random.default_rng(self.seed)
+        with span(
+            "mlp_fit",
+            n_samples=n,
+            n_features=int(n_features),
+            hidden_layers=list(self.hidden_layers),
+        ) as fit_span:
+            # Seeded validation split for early stopping; too-small sets
+            # train on everything for the full epoch budget.
+            n_val = int(round(self.validation_fraction * n))
+            order = rng.permutation(n)
+            if 1 <= n_val <= n - 1:
+                val_rows, train_rows = order[:n_val], order[n_val:]
+            else:
+                val_rows, train_rows = order[:0], order
+            Z_train, y_train = Z[train_rows], labels[train_rows]
+            Z_val, y_val = Z[val_rows], labels[val_rows]
+            self._init_parameters(n_features, rng)
+            assert self.weights_ is not None and self.biases_ is not None
+            velocity_w = [np.zeros_like(W) for W in self.weights_]
+            velocity_b = [np.zeros_like(b) for b in self.biases_]
+            self.loss_curve_ = []
+            self.validation_curve_ = []
+            self.stopped_early_ = False
+            best_val = np.inf
+            best_state: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+            bad_epochs = 0
+            loss_hist = histogram("mlp_train_loss", buckets=LOSS_BUCKETS)
+            epoch_counter = counter("mlp_epochs")
+            n_train = len(y_train)
+            for epoch in range(self.max_epochs):
+                shuffle = rng.permutation(n_train)
+                total_loss = 0.0
+                for start in range(0, n_train, self.batch_size):
+                    rows = shuffle[start : start + self.batch_size]
+                    total_loss += self._sgd_step(
+                        Z_train[rows], y_train[rows], velocity_w, velocity_b
+                    ) * len(rows)
+                train_loss = total_loss / n_train
+                self.loss_curve_.append(train_loss)
+                loss_hist.observe(train_loss)
+                epoch_counter.inc()
+                self.n_epochs_ = epoch + 1
+                if len(y_val):
+                    val_loss = self._loss(self._forward(Z_val)[-1], y_val)
+                    self.validation_curve_.append(val_loss)
+                    if val_loss < best_val - self.tol:
+                        best_val = val_loss
+                        best_state = (
+                            [W.copy() for W in self.weights_],
+                            [b.copy() for b in self.biases_],
+                        )
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                        if bad_epochs >= self.patience:
+                            self.stopped_early_ = True
+                            break
+            if best_state is not None:
+                self.weights_, self.biases_ = best_state
+            fit_span.set(
+                n_epochs=self.n_epochs_,
+                stopped_early=self.stopped_early_,
+                train_loss=round(self.loss_curve_[-1], 6),
+                val_loss=(
+                    round(self.validation_curve_[-1], 6)
+                    if self.validation_curve_
+                    else None
+                ),
+            )
+        return self
+
+    def _sgd_step(
+        self,
+        Z: np.ndarray,
+        y: np.ndarray,
+        velocity_w: list[np.ndarray],
+        velocity_b: list[np.ndarray],
+    ) -> float:
+        """One momentum-SGD update on a mini-batch; returns its loss."""
+        assert self.weights_ is not None and self.biases_ is not None
+        activations = self._forward(Z)
+        prob = activations[-1]
+        m = len(y)
+        # Softmax + cross-entropy gradient: (p - onehot(y)) / m.
+        delta = prob.copy()
+        delta[np.arange(m), y] -= 1.0
+        delta /= m
+        for layer in range(len(self.weights_) - 1, -1, -1):
+            grad_w = activations[layer].T @ delta
+            if self.l2:
+                grad_w += self.l2 * self.weights_[layer]
+            grad_b = delta.sum(axis=0)
+            if layer:
+                delta = (delta @ self.weights_[layer].T) * (
+                    activations[layer] > 0.0
+                )
+            velocity_w[layer] = (
+                self.momentum * velocity_w[layer] - self.learning_rate * grad_w
+            )
+            velocity_b[layer] = (
+                self.momentum * velocity_b[layer] - self.learning_rate * grad_b
+            )
+            self.weights_[layer] += velocity_w[layer]
+            self.biases_[layer] += velocity_b[layer]
+        return self._loss(prob, y)
+
+    # -- inference ------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(y=1 | x): the softmax probability of the positive unit."""
+        if self.weights_ is None:
+            raise RuntimeError("fit() first")
+        Z = self._standardize(np.asarray(X, dtype=np.float64))
+        return self._forward(Z)[-1][:, 1]
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction at the probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    # -- serialization --------------------------------------------------
+
+    def get_params(self) -> dict[str, Any]:
+        """JSON-able constructor hyper-parameters (seed excluded)."""
+        return {
+            "hidden_layers": list(self.hidden_layers),
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "batch_size": self.batch_size,
+            "max_epochs": self.max_epochs,
+            "patience": self.patience,
+            "validation_fraction": self.validation_fraction,
+            "tol": self.tol,
+            "l2": self.l2,
+        }
+
+    def to_state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """``(arrays, params)`` capturing exact inference state.
+
+        ``arrays`` holds every float the forward pass reads (weights,
+        biases, standardization); ``params`` the JSON-able rest.  Like
+        the tree artifacts, RNG state is not preserved: a restored model
+        refits from a fresh seed.
+        """
+        if self.weights_ is None or self.biases_ is None:
+            raise RuntimeError("cannot serialize an unfitted MLP")
+        arrays: dict[str, np.ndarray] = {
+            "mean": self._mean,
+            "std": self._std,
+        }
+        for layer, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            arrays[f"W{layer}"] = W
+            arrays[f"b{layer}"] = b
+        params = dict(self.get_params())
+        params["n_layers"] = len(self.weights_)
+        params["n_features"] = self.n_features_
+        return arrays, params
+
+    @classmethod
+    def from_state(
+        cls, arrays: dict[str, np.ndarray], params: dict[str, Any]
+    ) -> "MLPClassifier":
+        """Rebuild a fitted MLP; ``predict_proba`` is bit-identical to
+        the model ``to_state`` was called on."""
+        params = dict(params)
+        n_layers = int(params.pop("n_layers"))
+        n_features = params.pop("n_features", None)
+        model = cls(**{k: v for k, v in params.items() if k != "seed"})
+        try:
+            model.weights_ = [
+                np.asarray(arrays[f"W{layer}"], dtype=np.float64)
+                for layer in range(n_layers)
+            ]
+            model.biases_ = [
+                np.asarray(arrays[f"b{layer}"], dtype=np.float64)
+                for layer in range(n_layers)
+            ]
+            model._mean = np.asarray(arrays["mean"], dtype=np.float64)
+            model._std = np.asarray(arrays["std"], dtype=np.float64)
+        except KeyError as error:
+            raise ValueError(f"MLP state is missing array {error}") from error
+        model.n_features_ = (
+            int(n_features)
+            if n_features is not None
+            else int(model.weights_[0].shape[0])
+        )
+        return model

@@ -79,18 +79,19 @@ _fingerprint: str | None = None
 def code_fingerprint() -> str:
     """Digest of the sources that determine cached matrix contents.
 
-    Covers pair featurization, sample generation and the tree-training
-    engine (cache hits skip straight to model fitting, so fit-path edits
-    must also invalidate); any edit to these modules changes every cache
-    key, which is the invalidation story.
+    Covers pair featurization, sample generation, the tree-training
+    engine, and the classifier-backend layer (cache hits skip straight
+    to model fitting, so fit-path and backend edits must also
+    invalidate); any edit to these modules changes every cache key,
+    which is the invalidation story.
     """
     global _fingerprint
     if _fingerprint is None:
-        from ..ml import fit_engine, tree
+        from ..ml import backends, fit_engine, mlp, tree
         from ..splitmfg import pair_features, sampling
 
         digest = hashlib.sha256()
-        for module in (pair_features, sampling, tree, fit_engine):
+        for module in (pair_features, sampling, tree, fit_engine, backends, mlp):
             digest.update(inspect.getsource(module).encode())
         _fingerprint = digest.hexdigest()[:16]
     return _fingerprint

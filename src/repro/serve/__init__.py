@@ -26,10 +26,13 @@ CLI: ``python -m repro train-model / predict / serve / models``.
 
 from .artifacts import (
     ARTIFACT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ArtifactError,
     ArtifactIntegrityError,
     ArtifactSchemaError,
+    MLPArtifact,
     ModelArtifact,
+    artifact_from_model,
     load_artifact,
 )
 from .engine import StackedEnsemble, has_ckernel
@@ -44,11 +47,14 @@ __all__ = [
     "ArtifactSchemaError",
     "AttackHTTPServer",
     "AttackService",
+    "MLPArtifact",
     "ModelArtifact",
     "ModelNotFoundError",
     "ModelRegistry",
     "RegistryEntry",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "StackedEnsemble",
+    "artifact_from_model",
     "has_ckernel",
     "load_artifact",
     "make_server",

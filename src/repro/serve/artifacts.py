@@ -2,19 +2,26 @@
 
 An artifact is two sibling files sharing a stem (see ``ARTIFACTS.md``):
 
-* ``<stem>.npz``  -- the flattened trees of the model: all node arrays
-  concatenated across estimators plus per-tree offsets and priors;
+* ``<stem>.npz``  -- the model's inference arrays.  For tree ensembles,
+  the flattened trees: all node arrays concatenated across estimators
+  plus per-tree offsets and priors.  For the ``mlp`` kind (schema v2),
+  the layer weights/biases and the input standardization vectors;
 * ``<stem>.json`` -- the manifest: schema version, model kind and
   hyper-parameters, attack metadata (feature set, split layer,
   neighborhood, training designs) and the SHA-256 checksum of the
   ``.npz`` payload, verified on load.
 
+Schema history: version 1 covered the four tree-ensemble kinds; version
+2 adds the ``mlp`` kind and changes nothing about tree bundles, so v1
+tree artifacts load and score bit-identically under a v2 reader
+(``read_manifest`` accepts both).
+
 Round-tripping is exact: a loaded model's ``predict_proba`` is
-bit-identical to the in-memory model it was saved from, because the
-frozen node arrays, per-tree priors and feature counts -- everything
-inference reads -- are restored verbatim.  Artifacts capture *inference*
-state only; the RNG state of the original model is not preserved, so
-refitting a loaded model starts from a fresh seed.
+bit-identical to the in-memory model it was saved from, because
+everything inference reads -- frozen node arrays, per-tree priors, MLP
+weights, standardization vectors -- is restored verbatim.  Artifacts
+capture *inference* state only; the RNG state of the original model is
+not preserved, so refitting a loaded model starts from a fresh seed.
 """
 
 from __future__ import annotations
@@ -30,9 +37,13 @@ import numpy as np
 
 from ..ml.bagging import Bagging
 from ..ml.forest import RandomForest
+from ..ml.mlp import MLPClassifier
 from ..ml.tree import DecisionTreeBase, RandomTree, REPTree, _FrozenTree
 
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Manifest versions this build can read (v1 = tree kinds only).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: npz keys holding the concatenated per-node arrays.
 _NODE_KEYS = ("feature", "threshold", "left", "right", "pos", "neg")
@@ -57,6 +68,37 @@ def _sha256(path: Path) -> str:
         for block in iter(lambda: handle.read(1 << 20), b""):
             digest.update(block)
     return digest.hexdigest()
+
+
+def _write_bundle(
+    stem: str | Path,
+    arrays: dict[str, np.ndarray],
+    manifest_fields: dict[str, Any],
+    meta: dict[str, Any],
+    created_at: float,
+) -> dict[str, Any]:
+    """Write ``<stem>.npz`` + ``<stem>.json``; returns the manifest.
+
+    Shared by every artifact kind: the npz holds ``arrays`` verbatim and
+    the manifest records the schema version, the payload checksum, the
+    kind-specific ``manifest_fields`` and the attack ``meta``.
+    """
+    stem = Path(stem)
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    npz_path = stem.parent / f"{stem.name}.npz"
+    json_path = stem.parent / f"{stem.name}.json"
+    np.savez_compressed(npz_path, **arrays)
+    manifest = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        **manifest_fields,
+        "arrays_file": npz_path.name,
+        "arrays_sha256": _sha256(npz_path),
+        "created_at": created_at or time.time(),
+        "meta": meta,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return manifest
 
 
 def _estimator_params(tree: DecisionTreeBase) -> dict[str, Any]:
@@ -244,37 +286,93 @@ class ModelArtifact:
 
     def save(self, stem: str | Path) -> dict[str, Any]:
         """Write ``<stem>.npz`` + ``<stem>.json``; returns the manifest."""
-        stem = Path(stem)
-        stem.parent.mkdir(parents=True, exist_ok=True)
-        npz_path = stem.parent / f"{stem.name}.npz"
-        json_path = stem.parent / f"{stem.name}.json"
-        np.savez_compressed(
-            npz_path,
-            feature=self.feature,
-            threshold=self.threshold,
-            left=self.left,
-            right=self.right,
-            pos=self.pos,
-            neg=self.neg,
-            offsets=self.offsets,
-            priors=self.priors,
+        arrays = {key: getattr(self, key) for key in _NODE_KEYS}
+        arrays["offsets"] = self.offsets
+        arrays["priors"] = self.priors
+        return _write_bundle(
+            stem,
+            arrays,
+            {
+                "kind": self.kind,
+                "estimator_kind": self.estimator_kind,
+                "voting": self.voting,
+                "n_estimators": self.n_estimators,
+                "estimator_params": self.estimator_params,
+                "n_features": self.n_features,
+            },
+            self.meta,
+            self.created_at,
         )
-        manifest = {
-            "schema_version": ARTIFACT_SCHEMA_VERSION,
-            "kind": self.kind,
-            "estimator_kind": self.estimator_kind,
-            "voting": self.voting,
-            "n_estimators": self.n_estimators,
-            "estimator_params": self.estimator_params,
-            "n_features": self.n_features,
-            "arrays_file": npz_path.name,
-            "arrays_sha256": _sha256(npz_path),
-            "created_at": self.created_at or time.time(),
-            "meta": self.meta,
-        }
-        with open(json_path, "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-        return manifest
+
+
+@dataclass
+class MLPArtifact:
+    """A trained MLP's weights plus its manifest metadata (schema v2).
+
+    ``arrays`` holds exactly what :meth:`repro.ml.mlp.MLPClassifier.to_state`
+    emits (per-layer ``W<i>``/``b<i>`` plus ``mean``/``std``); ``params``
+    the JSON-able hyper-parameters and layer count.
+    """
+
+    params: dict[str, Any]
+    n_features: int
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+
+    kind: str = "mlp"
+
+    @property
+    def n_estimators(self) -> int:
+        return 1  # one network; keeps registry summaries uniform
+
+    @classmethod
+    def from_model(
+        cls, model: MLPClassifier, meta: dict[str, Any] | None = None
+    ) -> "MLPArtifact":
+        """Package a fitted MLP."""
+        arrays, params = model.to_state()
+        return cls(
+            params=params,
+            n_features=int(params["n_features"]),
+            arrays=arrays,
+            meta=dict(meta or {}),
+            created_at=time.time(),
+        )
+
+    def to_model(self) -> MLPClassifier:
+        """Rebuild the trained MLP; ``predict_proba`` is bit-identical
+        to the model this artifact was packaged from."""
+        try:
+            return MLPClassifier.from_state(self.arrays, self.params)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArtifactSchemaError(f"bad mlp artifact: {error}") from error
+
+    def save(self, stem: str | Path) -> dict[str, Any]:
+        """Write ``<stem>.npz`` + ``<stem>.json``; returns the manifest."""
+        return _write_bundle(
+            stem,
+            self.arrays,
+            {
+                "kind": self.kind,
+                "n_estimators": self.n_estimators,
+                "params": self.params,
+                "n_features": self.n_features,
+            },
+            self.meta,
+            self.created_at,
+        )
+
+
+def artifact_from_model(model, meta: dict[str, Any] | None = None):
+    """Package any supported model (or fitted backend) as an artifact."""
+    from ..ml.backends import ClassifierBackend
+
+    if isinstance(model, ClassifierBackend):
+        model = model.model_
+    if isinstance(model, MLPClassifier):
+        return MLPArtifact.from_model(model, meta=meta)
+    return ModelArtifact.from_model(model, meta=meta)
 
 
 def read_manifest(json_path: str | Path) -> dict[str, Any]:
@@ -286,18 +384,22 @@ def read_manifest(json_path: str | Path) -> dict[str, Any]:
     except (OSError, json.JSONDecodeError) as error:
         raise ArtifactError(f"cannot read manifest {json_path}: {error}") from error
     version = manifest.get("schema_version")
-    if version != ARTIFACT_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ArtifactSchemaError(
             f"unsupported artifact schema version {version!r} "
-            f"(this build reads version {ARTIFACT_SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
+        )
+    if version < 2 and manifest.get("kind") == "mlp":
+        raise ArtifactSchemaError(
+            "mlp artifacts require schema version >= 2"
         )
     return manifest
 
 
-def load_artifact(json_path: str | Path) -> ModelArtifact:
-    """Load an artifact from its manifest path, verifying integrity."""
-    json_path = Path(json_path)
-    manifest = read_manifest(json_path)
+def _verified_payload_path(
+    json_path: Path, manifest: dict[str, Any]
+) -> Path:
+    """The artifact's npz path, existence- and checksum-verified."""
     npz_path = json_path.parent / Path(manifest["arrays_file"]).name
     if not npz_path.exists():
         raise ArtifactError(f"artifact payload missing: {npz_path}")
@@ -306,6 +408,33 @@ def load_artifact(json_path: str | Path) -> ModelArtifact:
         raise ArtifactIntegrityError(
             f"checksum mismatch for {npz_path.name}: payload is corrupted "
             f"or does not belong to this manifest"
+        )
+    return npz_path
+
+
+def load_artifact(json_path: str | Path):
+    """Load an artifact from its manifest path, verifying integrity.
+
+    Returns a :class:`ModelArtifact` for the tree-ensemble kinds or an
+    :class:`MLPArtifact` for ``mlp`` manifests (schema v2).
+    """
+    json_path = Path(json_path)
+    manifest = read_manifest(json_path)
+    npz_path = _verified_payload_path(json_path, manifest)
+    if manifest.get("kind") == "mlp":
+        try:
+            with np.load(npz_path, allow_pickle=False) as arrays:
+                payload = {key: arrays[key] for key in arrays.files}
+        except (OSError, ValueError) as error:
+            raise ArtifactError(
+                f"cannot read payload {npz_path}: {error}"
+            ) from error
+        return MLPArtifact(
+            params=manifest["params"],
+            n_features=int(manifest["n_features"]),
+            arrays=payload,
+            meta=manifest.get("meta", {}),
+            created_at=float(manifest.get("created_at", 0.0)),
         )
     try:
         with np.load(npz_path, allow_pickle=False) as arrays:
@@ -337,7 +466,7 @@ def save_model(
     meta: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One-call convenience: package ``model`` and write the bundle."""
-    return ModelArtifact.from_model(model, meta=meta).save(stem)
+    return artifact_from_model(model, meta=meta).save(stem)
 
 
 def load_model(json_path: str | Path):

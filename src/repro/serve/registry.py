@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from .artifacts import ArtifactError, ModelArtifact, load_artifact, read_manifest
+from .artifacts import (
+    ArtifactError,
+    MLPArtifact,
+    ModelArtifact,
+    load_artifact,
+    read_manifest,
+)
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_.]+")
 _ID_RE = re.compile(r"^(?P<name>.+)-v(?P<version>\d+)$")
@@ -127,7 +133,11 @@ class ModelRegistry:
 
     # -- save / load ----------------------------------------------------
 
-    def save(self, artifact: ModelArtifact, name: str | None = None) -> RegistryEntry:
+    def save(
+        self,
+        artifact: ModelArtifact | MLPArtifact,
+        name: str | None = None,
+    ) -> RegistryEntry:
         """Store an artifact under the next free version of ``name``.
 
         ``name`` defaults to the attack configuration recorded in the
@@ -162,7 +172,9 @@ class ModelRegistry:
             return by_name
         raise ModelNotFoundError(f"model {model_id!r} not found in {self.root}")
 
-    def load(self, model_id: str | None = None) -> tuple[RegistryEntry, ModelArtifact]:
+    def load(
+        self, model_id: str | None = None
+    ) -> tuple[RegistryEntry, ModelArtifact | MLPArtifact]:
         """Resolve and load (with integrity verification) an artifact."""
         entry = self.resolve(model_id)
         return entry, load_artifact(entry.manifest_path)

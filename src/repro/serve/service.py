@@ -34,7 +34,12 @@ from ..attack.result import AttackResult
 from ..attack.topk import evaluate_attack_topk
 from ..splitmfg.challenge import challenge_from_dicts
 from ..splitmfg.split import SplitView
-from .artifacts import ArtifactError, ModelArtifact
+from .artifacts import (
+    ArtifactError,
+    MLPArtifact,
+    ModelArtifact,
+    artifact_from_model,
+)
 from .registry import ModelRegistry, RegistryEntry
 
 DEFAULT_THRESHOLD = 0.5
@@ -44,7 +49,7 @@ def package_trained_attack(
     trained: TrainedAttack,
     training_views: Sequence[SplitView] = (),
     extra_meta: dict[str, Any] | None = None,
-) -> ModelArtifact:
+) -> ModelArtifact | MLPArtifact:
     """Package a :class:`TrainedAttack` with everything serving needs.
 
     The metadata records the attack configuration (feature set id and
@@ -64,7 +69,7 @@ def package_trained_attack(
     if len(meta["split_layers"]) == 1:
         meta["split_layer"] = meta["split_layers"][0]
     meta.update(extra_meta or {})
-    return ModelArtifact.from_model(trained.model, meta=meta)
+    return artifact_from_model(trained.model, meta=meta)
 
 
 def train_model(
@@ -72,7 +77,7 @@ def train_model(
     views: Sequence[SplitView],
     seed: int = 0,
     extra_meta: dict[str, Any] | None = None,
-) -> ModelArtifact:
+) -> ModelArtifact | MLPArtifact:
     """Train on *all* given views and package the result.
 
     Unlike the leave-one-out experiment driver, serving trains once on
@@ -82,7 +87,9 @@ def train_model(
     return package_trained_attack(trained, views, extra_meta=extra_meta)
 
 
-def restore_trained_attack(artifact: ModelArtifact) -> TrainedAttack:
+def restore_trained_attack(
+    artifact: ModelArtifact | MLPArtifact,
+) -> TrainedAttack:
     """Rebuild a :class:`TrainedAttack` from an artifact's metadata."""
     config_fields = artifact.meta.get("config")
     if not config_fields:

@@ -36,3 +36,18 @@ class TestExtensionClassifiers:
         for entry in out.data.values():
             assert 0 <= entry["accuracy_at_3pct"] <= 1
             assert entry["runtime"] > 0
+            assert entry["fit_time"] > 0
+            assert entry["predict_time"] > 0
+
+    def test_bakeoff_includes_all_five_backends(self):
+        names = {backend for _, backend, _ in extension_classifiers.BAKEOFF_BACKENDS}
+        assert names == {"bagging", "randomforest", "knn", "logistic", "mlp"}
+
+    def test_mlp_row_runs(self):
+        out = extension_classifiers.run(
+            scale=SCALE, layer=8, names=("MLP(32x16)",)
+        )
+        entry = out.data["MLP(32x16)"]
+        assert 0 <= entry["accuracy_at_3pct"] <= 1
+        assert entry["fit_time"] > 0
+        assert "MLP(32x16)" in out.report

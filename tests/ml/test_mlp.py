@@ -1,0 +1,180 @@
+"""Tests for the from-scratch NumPy MLP classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPClassifier, _softmax
+from repro.obs.metrics import get_registry
+
+
+def _problem(seed=0, n=400, n_features=5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    y = (X[:, 0] + 0.5 * X[:, 1] + 0.2 * rng.normal(size=n) > 0).astype(float)
+    return X, y
+
+
+def _small_mlp(**overrides):
+    params = dict(hidden_layers=(8,), max_epochs=30, batch_size=32, seed=0)
+    params.update(overrides)
+    return MLPClassifier(**params)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_layers": ()},
+            {"hidden_layers": (0,)},
+            {"learning_rate": 0.0},
+            {"momentum": 1.0},
+            {"momentum": -0.1},
+            {"batch_size": 0},
+            {"max_epochs": 0},
+            {"patience": 0},
+            {"validation_fraction": 1.0},
+            {"l2": -1.0},
+        ],
+    )
+    def test_bad_constructor_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MLPClassifier(**kwargs)
+
+    def test_rejects_empty_and_mismatched(self):
+        model = _small_mlp()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 3)), np.zeros(0))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 3)), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(4), np.zeros(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            _small_mlp().predict_proba(np.zeros((2, 3)))
+        with pytest.raises(RuntimeError):
+            _small_mlp().to_state()
+
+
+class TestTraining:
+    def test_learns_separable_problem(self):
+        X, y = _problem()
+        model = _small_mlp(max_epochs=60).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.9
+
+    def test_probabilities_are_valid(self):
+        X, y = _problem()
+        prob = _small_mlp().fit(X, y).predict_proba(X)
+        assert prob.shape == (len(X),)
+        assert np.all(prob >= 0) and np.all(prob <= 1)
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.random.default_rng(0).normal(scale=30, size=(50, 2))
+        p = _softmax(z)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_standardization_handles_large_scales(self):
+        X, y = _problem()
+        X = X * np.array([1e6, 1e-6, 1.0, 1e3, 1e-3])
+        model = _small_mlp(max_epochs=60).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_early_stopping_triggers(self):
+        X, y = _problem(n=300)
+        model = _small_mlp(max_epochs=500, patience=3, tol=1e-3).fit(X, y)
+        assert model.stopped_early_
+        assert model.n_epochs_ < 500
+        assert len(model.loss_curve_) == model.n_epochs_
+        assert len(model.validation_curve_) == model.n_epochs_
+
+    def test_no_validation_split_disables_early_stopping(self):
+        X, y = _problem(n=100)
+        model = _small_mlp(
+            validation_fraction=0.0, max_epochs=12, patience=2
+        ).fit(X, y)
+        assert not model.stopped_early_
+        assert model.n_epochs_ == 12
+        assert model.validation_curve_ == []
+
+    def test_loss_decreases(self):
+        X, y = _problem()
+        model = _small_mlp(max_epochs=40, validation_fraction=0.0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_tiny_training_set(self):
+        X = np.array([[0.0, 1.0], [1.0, 0.0], [0.5, 0.5]])
+        y = np.array([0.0, 1.0, 1.0])
+        model = _small_mlp(batch_size=8, max_epochs=5).fit(X, y)
+        assert model.predict_proba(X).shape == (3,)
+
+    def test_single_class_labels(self):
+        X, _ = _problem(n=60)
+        model = _small_mlp(max_epochs=5).fit(X, np.ones(len(X)))
+        assert np.all(model.predict_proba(X) >= 0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        X, y = _problem()
+        a = _small_mlp(seed=42).fit(X, y)
+        b = _small_mlp(seed=42).fit(X, y)
+        for Wa, Wb in zip(a.weights_, b.weights_):
+            assert np.array_equal(Wa, Wb)
+        for ba, bb in zip(a.biases_, b.biases_):
+            assert np.array_equal(ba, bb)
+        Xt = np.random.default_rng(1).normal(size=(64, X.shape[1]))
+        assert np.array_equal(a.predict_proba(Xt), b.predict_proba(Xt))
+
+    def test_different_seeds_differ(self):
+        X, y = _problem()
+        a = _small_mlp(seed=0).fit(X, y)
+        b = _small_mlp(seed=1).fit(X, y)
+        assert not np.array_equal(a.weights_[0], b.weights_[0])
+
+    def test_generator_seed_accepted(self):
+        X, y = _problem(n=120)
+        model = _small_mlp(seed=np.random.default_rng(5), max_epochs=5)
+        assert model.fit(X, y).predict_proba(X).shape == (len(X),)
+
+
+class TestState:
+    def test_round_trip_bit_identical(self):
+        X, y = _problem()
+        model = _small_mlp(hidden_layers=(8, 4)).fit(X, y)
+        arrays, params = model.to_state()
+        restored = MLPClassifier.from_state(arrays, params)
+        Xt = np.random.default_rng(2).normal(size=(128, X.shape[1]))
+        assert np.array_equal(
+            model.predict_proba(Xt), restored.predict_proba(Xt)
+        )
+        assert restored.hidden_layers == (8, 4)
+        assert restored.n_features_ == X.shape[1]
+
+    def test_state_is_jsonable_params_and_arrays(self):
+        import json
+
+        X, y = _problem(n=80)
+        arrays, params = _small_mlp(max_epochs=3).fit(X, y).to_state()
+        json.dumps(params)  # must not raise
+        assert set(arrays) >= {"mean", "std", "W0", "b0", "W1", "b1"}
+
+    def test_missing_array_rejected(self):
+        X, y = _problem(n=80)
+        arrays, params = _small_mlp(max_epochs=3).fit(X, y).to_state()
+        del arrays["W0"]
+        with pytest.raises(ValueError):
+            MLPClassifier.from_state(arrays, params)
+
+
+class TestObservability:
+    def test_fit_emits_epoch_metrics(self):
+        registry = get_registry()
+        before = registry.snapshot()["counters"].get("mlp_epochs", 0)
+        X, y = _problem(n=100)
+        model = _small_mlp(max_epochs=7, validation_fraction=0.0).fit(X, y)
+        after = registry.snapshot()["counters"].get("mlp_epochs", 0)
+        assert after - before == model.n_epochs_ == 7
+        histograms = registry.snapshot()["histograms"]
+        assert "mlp_train_loss" in histograms

@@ -23,8 +23,15 @@ def _assert_results_identical(first, second):
         np.testing.assert_array_equal(a.prob, b.prob)
 
 
+#: The neural backend rides the same fold seeding, so --jobs must be a
+#: no-op for it too (MLP training itself is single-process NumPy).
+MLP_9 = IMP_9.with_backend(
+    "mlp", hidden_layers=(8,), max_epochs=12, batch_size=64, patience=4
+)
+
+
 class TestParallelEqualsSerial:
-    @pytest.mark.parametrize("config", [IMP_9], ids=lambda c: c.name)
+    @pytest.mark.parametrize("config", [IMP_9, MLP_9], ids=lambda c: c.name)
     def test_run_loo_jobs_bit_identical(self, views8, config):
         serial = run_loo(config, views8, seed=11, jobs=1)
         parallel = run_loo(config, views8, seed=11, jobs=2)

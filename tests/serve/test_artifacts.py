@@ -11,13 +11,17 @@ from hypothesis import strategies as st
 
 from repro.ml.bagging import Bagging
 from repro.ml.forest import RandomForest
+from repro.ml.mlp import MLPClassifier
 from repro.ml.tree import RandomTree, REPTree
 from repro.serve.artifacts import (
     ARTIFACT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ArtifactError,
     ArtifactIntegrityError,
     ArtifactSchemaError,
+    MLPArtifact,
     ModelArtifact,
+    artifact_from_model,
     load_artifact,
     load_model,
     read_manifest,
@@ -30,6 +34,9 @@ MODEL_FACTORIES = {
     "bagging": lambda seed: Bagging(n_estimators=3, seed=seed),
     "bagging-hard": lambda seed: Bagging(n_estimators=3, seed=seed, voting="hard"),
     "randomforest": lambda seed: RandomForest(n_estimators=4, seed=seed),
+    "mlp": lambda seed: MLPClassifier(
+        hidden_layers=(4,), max_epochs=5, batch_size=32, seed=seed
+    ),
 }
 
 
@@ -146,3 +153,123 @@ class TestRejection:
     def test_unsupported_model_type(self):
         with pytest.raises(ArtifactError, match="unsupported model type"):
             ModelArtifact.from_model(object())
+
+
+def _fit_mlp(seed=0, n=90, n_features=5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    y = (X[:, 0] > 0).astype(float)
+    model = MLPClassifier(
+        hidden_layers=(6, 4), max_epochs=6, batch_size=32, seed=seed
+    ).fit(X, y)
+    return model, rng.normal(size=(64, n_features))
+
+
+class TestMLPArtifacts:
+    def test_manifest_fields(self, tmp_path):
+        model, _ = _fit_mlp()
+        meta = {"config": {"name": "Imp-9+mlp"}, "split_layer": 6}
+        manifest = save_model(model, tmp_path / "m", meta=meta)
+        assert manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION == 2
+        assert manifest["kind"] == "mlp"
+        assert manifest["n_estimators"] == 1
+        assert manifest["n_features"] == 5
+        assert manifest["params"]["hidden_layers"] == [6, 4]
+        assert manifest["meta"] == meta
+        json.dumps(manifest)  # fully JSON-able
+
+    def test_load_returns_mlp_artifact(self, tmp_path):
+        model, _ = _fit_mlp()
+        save_model(model, tmp_path / "m")
+        artifact = load_artifact(tmp_path / "m.json")
+        assert isinstance(artifact, MLPArtifact)
+        assert artifact.kind == "mlp"
+        assert artifact.n_estimators == 1
+        assert set(artifact.arrays) >= {"mean", "std", "W0", "b0", "W1", "b1"}
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(20, 120),
+        n_features=st.integers(2, 9),
+        hidden=st.lists(st.integers(1, 8), min_size=1, max_size=3),
+    )
+    def test_round_trip_is_bit_identical(self, seed, n, n_features, hidden):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, n_features))
+        y = (X[:, 0] > 0).astype(float)
+        model = MLPClassifier(
+            hidden_layers=tuple(hidden), max_epochs=4, batch_size=16, seed=seed
+        ).fit(X, y)
+        Xt = rng.normal(size=(48, n_features))
+        with tempfile.TemporaryDirectory() as tmp:
+            save_model(model, Path(tmp) / "m", meta={"seed": seed})
+            restored = load_model(Path(tmp) / "m.json")
+        assert type(restored) is MLPClassifier
+        assert np.array_equal(model.predict_proba(Xt), restored.predict_proba(Xt))
+
+    def test_corrupted_mlp_payload_is_rejected(self, tmp_path):
+        model, _ = _fit_mlp()
+        save_model(model, tmp_path / "m")
+        npz_path = tmp_path / "m.npz"
+        payload = bytearray(npz_path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        npz_path.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactIntegrityError, match="checksum mismatch"):
+            load_artifact(tmp_path / "m.json")
+
+    def test_missing_weight_array_is_schema_error(self, tmp_path):
+        model, _ = _fit_mlp()
+        artifact = artifact_from_model(model)
+        del artifact.arrays["W0"]
+        with pytest.raises(ArtifactSchemaError, match="mlp"):
+            artifact.to_model()
+
+    def test_backend_wrapper_unwraps_to_mlp_artifact(self):
+        from repro.ml.backends import create_backend
+
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] > 0).astype(float)
+        backend = create_backend(
+            "mlp", hidden_layers=(4,), max_epochs=4
+        ).fit(X, y, seed=1)
+        artifact = artifact_from_model(backend, meta={"via": "backend"})
+        assert isinstance(artifact, MLPArtifact)
+        np.testing.assert_array_equal(
+            backend.predict_proba(X), artifact.to_model().predict_proba(X)
+        )
+
+
+class TestBackwardCompat:
+    """v1 (tree-only) artifacts must load and score bit-identically."""
+
+    def _downgrade(self, json_path):
+        manifest = json.loads(json_path.read_text())
+        manifest["schema_version"] = 1
+        json_path.write_text(json.dumps(manifest))
+        return manifest
+
+    def test_supported_versions(self):
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2)
+        assert ARTIFACT_SCHEMA_VERSION in SUPPORTED_SCHEMA_VERSIONS
+
+    @pytest.mark.parametrize("kind", ["bagging", "randomforest", "reptree"])
+    def test_v1_tree_artifact_loads_bit_identically(self, kind, tmp_path):
+        model, Xt = _fit(kind, 6, 70, 4)
+        save_model(model, tmp_path / "m", meta={"legacy": True})
+        self._downgrade(tmp_path / "m.json")
+        manifest = read_manifest(tmp_path / "m.json")  # v1 accepted
+        assert manifest["schema_version"] == 1
+        restored = load_model(tmp_path / "m.json")
+        assert type(restored) is type(model)
+        assert np.array_equal(model.predict_proba(Xt), restored.predict_proba(Xt))
+
+    def test_v1_manifest_cannot_claim_mlp(self, tmp_path):
+        model, _ = _fit_mlp()
+        save_model(model, tmp_path / "m")
+        self._downgrade(tmp_path / "m.json")
+        with pytest.raises(ArtifactSchemaError, match="schema version >= 2"):
+            read_manifest(tmp_path / "m.json")
+        with pytest.raises(ArtifactSchemaError):
+            load_artifact(tmp_path / "m.json")

@@ -32,9 +32,16 @@ class TestParser:
         args = build_parser().parse_args(["train-model"])
         assert args.config == "Imp-11"
         assert args.registry == "models"
+        assert args.backend is None
         args = build_parser().parse_args(["predict", "challenge.json", "--top-k", "3"])
         assert args.top_k == 3
         assert args.model is None
+
+    def test_backend_flag_parses(self):
+        args = build_parser().parse_args(["attack", "--backend", "mlp"])
+        assert args.backend == "mlp"
+        args = build_parser().parse_args(["train-model", "--backend", "knn"])
+        assert args.backend == "knn"
 
     @pytest.mark.parametrize("bad", ["0", "-1", "nan", "inf", "abc"])
     def test_scale_must_be_positive_finite(self, bad):
@@ -165,6 +172,59 @@ class TestCommands:
         rc = main(["models", "--registry", str(tmp_path / "models")])
         assert rc == 0
         assert "imp-7-v0001" in capsys.readouterr().out
+
+    def test_train_model_mlp_backend_flow(self, tmp_path, capsys):
+        main(["generate", "--out", str(tmp_path), "--scale", "0.05", "--names", "sb1"])
+        main(
+            [
+                "challenge",
+                str(tmp_path / "sb1.json"),
+                "--layer",
+                "8",
+                "--out",
+                str(tmp_path),
+                "--no-oracle",
+            ]
+        )
+        rc = main(
+            [
+                "train-model",
+                "--config",
+                "Imp-7",
+                "--backend",
+                "mlp",
+                "--layer",
+                "8",
+                "--designs",
+                str(tmp_path / "sb1.json"),
+                "--registry",
+                str(tmp_path / "models"),
+            ]
+        )
+        assert rc == 0
+        assert "Imp-7+mlp" in capsys.readouterr().out
+        from repro.serve import ModelRegistry
+
+        entry = ModelRegistry(tmp_path / "models").latest()
+        assert entry is not None
+        assert entry.kind == "mlp"
+        rc = main(
+            [
+                "predict",
+                str(tmp_path / "sb1.L8.public.json"),
+                "--registry",
+                str(tmp_path / "models"),
+                "--out",
+                str(tmp_path / "response.json"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "response.json").exists()
+
+    def test_unknown_backend_rejected(self, capsys):
+        rc = main(["attack", "--config", "Imp-9", "--backend", "weka"])
+        assert rc == 2
+        assert "unknown backend" in capsys.readouterr().err
 
     def test_predict_unknown_model(self, tmp_path, capsys):
         main(["generate", "--out", str(tmp_path), "--scale", "0.05", "--names", "sb1"])
