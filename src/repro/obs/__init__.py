@@ -30,7 +30,9 @@ from .logging import (
 )
 from .manifest import build_manifest, new_run_id, package_versions, write_manifest
 from .metrics import (
+    COUNT_BUCKETS,
     MetricsRegistry,
+    SHORT_WAIT_BUCKETS,
     counter,
     get_registry,
     histogram,
@@ -45,7 +47,9 @@ from .trace import (
 )
 
 __all__ = [
+    "COUNT_BUCKETS",
     "MetricsRegistry",
+    "SHORT_WAIT_BUCKETS",
     "adopt_spans",
     "apply_log_config",
     "build_manifest",

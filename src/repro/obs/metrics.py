@@ -36,6 +36,38 @@ DEFAULT_BUCKETS = (
     30.0,
 )
 
+#: Buckets for count-valued histograms (batch sizes, queue depths):
+#: powers of two from a lone request up to a large merged batch.
+COUNT_BUCKETS = (
+    0.0,
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    1024.0,
+)
+
+#: Buckets for sub-request waits (micro-batch coalescing, queueing):
+#: the serving batch window is single-digit milliseconds, so the
+#: resolution is concentrated there.
+SHORT_WAIT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+)
+
 #: Label value for the overflow bucket.
 INF_BUCKET = "+inf"
 

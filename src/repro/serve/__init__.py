@@ -18,8 +18,12 @@ production surface:
 * :mod:`repro.serve.service`   -- :class:`AttackService`: accept a public
   challenge document, recompute pair features, score with a registry
   model, return LoCs / top-K candidates;
+* :mod:`repro.serve.batcher`   -- micro-batching front end: a
+  coalescing queue that merges concurrent scoring requests into single
+  kernel batches (bit-identical per-request results);
 * :mod:`repro.serve.http`      -- the same service over a stdlib
-  ``ThreadingHTTPServer`` JSON API.
+  ``ThreadingHTTPServer`` JSON API, with an optional fixed worker pool
+  and a stalled-client watchdog.
 
 CLI: ``python -m repro train-model / predict / serve / models``.
 """
@@ -35,6 +39,7 @@ from .artifacts import (
     artifact_from_model,
     load_artifact,
 )
+from .batcher import BatcherClosedError, MicroBatcher
 from .engine import StackedEnsemble, has_ckernel
 from .http import AttackHTTPServer, make_server
 from .registry import ModelNotFoundError, ModelRegistry, RegistryEntry
@@ -47,7 +52,9 @@ __all__ = [
     "ArtifactSchemaError",
     "AttackHTTPServer",
     "AttackService",
+    "BatcherClosedError",
     "MLPArtifact",
+    "MicroBatcher",
     "ModelArtifact",
     "ModelNotFoundError",
     "ModelRegistry",

@@ -13,7 +13,16 @@ Endpoints:
   document (per-v-pin LoCs / top-K candidates).
 
 Built on ``ThreadingHTTPServer`` so slow scoring requests do not block
-health checks; no third-party dependencies.
+health checks; no third-party dependencies.  Two serving knobs harden
+it for real traffic:
+
+* ``workers=N`` switches from thread-per-connection to a fixed pool of
+  ``N`` handler threads draining an accept queue -- a concurrency bound
+  a load balancer can rely on instead of unbounded thread creation;
+* ``request_timeout`` arms a socket read timeout per connection, so a
+  client that opens a connection (or sends headers) and then stalls
+  (slowloris) is disconnected instead of pinning a handler thread
+  forever; every such stall increments ``http_disconnects{route}``.
 
 Every response also feeds the observability stack: an
 ``http_requests{method,route,status}`` counter, an
@@ -26,6 +35,8 @@ INFO serve ...``; logs go to stderr, never into response bodies.
 from __future__ import annotations
 
 import json
+import queue
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -37,6 +48,10 @@ from .service import AttackService
 
 MAX_REQUEST_BYTES = 256 * 1024 * 1024
 
+#: Per-connection socket read timeout (seconds); ``None`` disables the
+#: stalled-client watchdog (not recommended outside tests).
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
 #: Routes the metrics label set is allowed to contain; anything else is
 #: folded into "other" so scanners cannot blow up the label cardinality.
 KNOWN_ROUTES = ("/health", "/models", "/metrics", "/predict")
@@ -45,15 +60,117 @@ access_log = get_logger("serve.access")
 
 
 class AttackHTTPServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` bound to one :class:`AttackService`."""
+    """A ``ThreadingHTTPServer`` bound to one :class:`AttackService`.
+
+    ``workers=0`` (the default) keeps the stdlib thread-per-connection
+    behaviour; ``workers=N`` installs a fixed pool of N handler threads
+    fed from an accept queue, bounding handler concurrency under load.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: AttackService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AttackService,
+        workers: int = 0,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = True
         self.started = time.time()
+        self.request_timeout = request_timeout
+        self._accept_queue: "queue.SimpleQueue[Any] | None" = None
+        self._workers: list[threading.Thread] = []
+        if workers:
+            self._accept_queue = queue.SimpleQueue()
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-http-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+
+    # -- worker pool ----------------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        """Dispatch one accepted connection (pool or thread-per-request)."""
+        if self._accept_queue is None:
+            super().process_request(request, client_address)
+        else:
+            self._accept_queue.put((request, client_address))
+
+    def _worker_loop(self) -> None:
+        """One pool worker: drain accepted connections until shutdown."""
+        assert self._accept_queue is not None
+        while True:
+            item = self._accept_queue.get()
+            if item is None:
+                return
+            request, client_address = item
+            try:
+                self.finish_request(request, client_address)
+            except Exception:
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        if not getattr(self, "quiet", True):
+            super().handle_error(request, client_address)
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self._accept_queue is not None:
+            for _ in self._workers:
+                self._accept_queue.put(None)
+            for thread in self._workers:
+                thread.join(timeout=5)
+
+
+class _StallCountingReader:
+    """``rfile`` wrapper that counts read timeouts as disconnects.
+
+    The socket timeout (``AttackHTTPServer.request_timeout``) fires as a
+    ``TimeoutError`` out of any blocking read -- mid-headers or
+    mid-body.  Counting here, at the single point every read goes
+    through, means slowloris-style stalls always land in
+    ``http_disconnects`` no matter which parsing stage they interrupt;
+    the exception is re-raised for the caller to abort the connection.
+    """
+
+    __slots__ = ("_rfile", "_handler")
+
+    def __init__(self, rfile: Any, handler: "_Handler") -> None:
+        self._rfile = rfile
+        self._handler = handler
+
+    def _stalled(self) -> None:
+        counter("http_disconnects", route=self._handler._route_label()).inc()
+
+    def read(self, *args: Any) -> bytes:
+        try:
+            return self._rfile.read(*args)
+        except TimeoutError:
+            self._stalled()
+            raise
+
+    def readline(self, *args: Any) -> bytes:
+        try:
+            return self._rfile.readline(*args)
+        except TimeoutError:
+            self._stalled()
+            raise
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._rfile, name)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -63,12 +180,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
 
+    def setup(self) -> None:
+        request_timeout = getattr(self.server, "request_timeout", None)
+        if request_timeout is not None:
+            # StreamRequestHandler.setup applies self.timeout to the
+            # socket; reads past the deadline raise TimeoutError.
+            self.timeout = request_timeout
+        super().setup()
+        self.rfile = _StallCountingReader(self.rfile, self)  # type: ignore[assignment]
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
     def _route_label(self) -> str:
-        path = self.path.split("?", 1)[0]
+        # ``path`` is unset while the request line itself is being read.
+        path = getattr(self, "path", "").split("?", 1)[0]
         return path if path in KNOWN_ROUTES else "other"
 
     def _observe(self, status: int, response_bytes: int) -> None:
@@ -176,7 +303,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             body = self._read_exact(length)
-        except (ConnectionResetError, TimeoutError, OSError):
+        except TimeoutError:
+            # Stalled client: already counted by _StallCountingReader.
+            self.close_connection = True
+            return
+        except (ConnectionResetError, OSError):
             self.close_connection = True
             counter("http_disconnects", route=self._route_label()).inc()
             return
@@ -191,12 +322,20 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(request, dict) or "challenge" not in request:
             self._send_error_json(400, "request must carry a 'challenge' document")
             return
+        model = request.get("model")
+        if model is not None and not isinstance(model, str):
+            self._send_error_json(
+                400,
+                "model must be a string model id or name, got "
+                f"{type(model).__name__}",
+            )
+            return
         top_k = request.get("top_k")
         threshold = request.get("threshold")
         try:
             response = self.server.service.predict(
                 request["challenge"],
-                model_id=request.get("model"),
+                model_id=model,
                 threshold=None if threshold is None else float(threshold),
                 top_k=None if top_k is None else int(top_k),
             )
@@ -214,7 +353,16 @@ def make_server(
     service: AttackService,
     host: str = "127.0.0.1",
     port: int = 8787,
+    workers: int = 0,
+    request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
 ) -> AttackHTTPServer:
     """Bind (but do not start) the JSON API server; ``port=0`` picks a
-    free port (see ``server.server_address``)."""
-    return AttackHTTPServer((host, port), service)
+    free port (see ``server.server_address``).
+
+    ``workers`` bounds handler concurrency with a fixed thread pool
+    (``0`` = stdlib thread-per-connection); ``request_timeout`` arms the
+    per-connection stalled-client watchdog.
+    """
+    return AttackHTTPServer(
+        (host, port), service, workers=workers, request_timeout=request_timeout
+    )

@@ -55,6 +55,9 @@ class RegistryEntry:
     created_at: float
     manifest_path: Path
     meta: dict[str, Any]
+    #: Manifest file mtime at scan time; the serving layer compares it
+    #: against its cached copy to hot-reload republished artifacts.
+    manifest_mtime_ns: int = 0
 
     def describe(self) -> dict[str, Any]:
         """JSON-able summary (what ``GET /models`` returns per model)."""
@@ -97,6 +100,10 @@ class ModelRegistry:
             manifest = read_manifest(manifest_path)
         except ArtifactError:
             return None
+        try:
+            mtime_ns = manifest_path.stat().st_mtime_ns
+        except OSError:
+            mtime_ns = 0
         return RegistryEntry(
             model_id=manifest_path.stem,
             name=match.group("name"),
@@ -107,6 +114,7 @@ class ModelRegistry:
             created_at=float(manifest.get("created_at", 0.0)),
             manifest_path=manifest_path,
             meta=manifest.get("meta", {}),
+            manifest_mtime_ns=mtime_ns,
         )
 
     def list(self, name: str | None = None) -> list[RegistryEntry]:

@@ -1,0 +1,285 @@
+"""Concurrent-serving correctness: cache races, hot reload, byte-identity.
+
+The serving layer's contract under ``ThreadingHTTPServer`` is that any
+number of handler threads may score simultaneously and each response is
+byte-identical to what a serial, unbatched call would have produced.
+These tests hammer the model LRU from many threads (the PR-7 race
+regression), exercise manifest-mtime hot reload, and byte-compare
+concurrent HTTP responses -- with and without micro-batching -- against
+the serial path.
+"""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.attack.config import CONFIGS_BY_NAME
+from repro.obs import get_registry
+from repro.serve.batcher import MicroBatcher
+from repro.serve.http import make_server
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import AttackService, train_model
+from repro.splitmfg.challenge import challenge_to_dict
+
+CONFIG = CONFIGS_BY_NAME["Imp-7"]
+
+
+@pytest.fixture(scope="module")
+def artifact(views6):
+    return train_model(CONFIG, views6[:1], seed=0)
+
+
+@pytest.fixture(scope="module")
+def registry(artifact, tmp_path_factory):
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.save(artifact, name="m")
+    return registry
+
+
+def canonical(body: bytes) -> bytes:
+    """A response body minus its wall-clock field, canonically encoded.
+
+    ``time_s`` is the only nondeterministic field in a prediction
+    document; everything else must be byte-stable across serial,
+    concurrent, and batched serving.
+    """
+    document = json.loads(body)
+    assert "time_s" in document
+    document.pop("time_s")
+    return json.dumps(document, sort_keys=True).encode()
+
+
+def post_predict(server, payload) -> tuple[int, bytes]:
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}/predict",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:  # pragma: no cover - debug aid
+        return error.code, error.read()
+
+
+class TestCacheRace:
+    """The model LRU must hold its bound and never corrupt under load."""
+
+    N_THREADS = 12
+    N_ITERATIONS = 30
+
+    def test_hammering_load_with_cache_size_1(self, artifact, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(3):
+            registry.save(artifact, name="m")
+        service = AttackService(registry, cache_size=1)
+        model_ids = ["m-v0001", "m-v0002", "m-v0003"]
+        errors: list[BaseException] = []
+        bound_violations: list[int] = []
+        start = threading.Barrier(self.N_THREADS)
+
+        def hammer(index: int) -> None:
+            try:
+                start.wait()
+                for step in range(self.N_ITERATIONS):
+                    wanted = model_ids[(index + step) % len(model_ids)]
+                    loaded = service._load(wanted)
+                    assert loaded.entry.model_id == wanted
+                    # Under the cache lock the LRU bound is invariant.
+                    with service._cache_lock:
+                        if len(service._cache) > 1:
+                            bound_violations.append(len(service._cache))
+            except BaseException as error:  # noqa: BLE001 - collect, don't die
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,))
+            for k in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[:3]
+        assert not bound_violations, bound_violations[:5]
+        assert len(service._cache) == 1
+
+    def test_concurrent_loads_share_one_object(self, registry):
+        """Racing cold loads converge on a single cached model."""
+        service = AttackService(registry)
+        results: list[object] = []
+        start = threading.Barrier(8)
+
+        def load() -> None:
+            start.wait()
+            results.append(service._load("m-v0001"))
+
+        threads = [threading.Thread(target=load) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 8
+        cached = service._cache["m-v0001"]
+        # All requests finished on a valid model; later requests reuse
+        # the cached object.
+        assert service._load("m-v0001") is cached
+
+
+class TestHotReload:
+    def test_republished_artifact_is_reloaded(self, artifact, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save(artifact, name="m")
+        service = AttackService(registry)
+        get_registry().reset()
+        first = service._load("m-v0001")
+        assert service._load("m-v0001") is first  # warm, unchanged
+
+        # Republish the same model id with a strictly newer mtime (some
+        # filesystems have coarse timestamps; force the bump).
+        artifact.save(tmp_path / "m-v0001")
+        stat = entry.manifest_path.stat()
+        os.utime(
+            entry.manifest_path,
+            ns=(stat.st_atime_ns + 10**9, stat.st_mtime_ns + 10**9),
+        )
+        second = service._load("m-v0001")
+        assert second is not first
+        counters = get_registry().snapshot()["counters"]
+        assert counters["serving_model_reloads"] == 1
+        # In-flight requests holding the old object keep a working model.
+        assert first.trained.model.predict_proba is not None
+        # The reloaded model is now the stable cached copy.
+        assert service._load("m-v0001") is second
+
+    def test_new_version_does_not_count_as_reload(self, artifact, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(artifact, name="m")
+        service = AttackService(registry)
+        get_registry().reset()
+        first = service._load("m")
+        registry.save(artifact, name="m")  # m-v0002; name now resolves to it
+        second = service._load("m")
+        assert first.entry.model_id == "m-v0001"
+        assert second.entry.model_id == "m-v0002"
+        counters = get_registry().snapshot()["counters"]
+        assert "serving_model_reloads" not in counters
+
+
+class ServerHarness:
+    """An in-process server over the shared registry, batched or not."""
+
+    def __init__(self, registry, batcher: MicroBatcher | None = None) -> None:
+        self.service = AttackService(registry, batcher=batcher)
+        self.server = make_server(self.service, port=0)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def challenges(views6):
+    return [challenge_to_dict(view) for view in views6]
+
+
+@pytest.fixture(scope="module")
+def serial_bodies(registry, challenges):
+    """Reference bodies: one unbatched server, strictly one at a time."""
+    harness = ServerHarness(registry)
+    try:
+        bodies = []
+        for challenge in challenges:
+            status, body = post_predict(harness.server, {"challenge": challenge})
+            assert status == 200
+            bodies.append(canonical(body))
+        return bodies
+    finally:
+        harness.close()
+
+
+@pytest.mark.parametrize("batched", [False, True], ids=["unbatched", "batched"])
+def test_concurrent_responses_match_serial_path(
+    registry, challenges, serial_bodies, batched
+):
+    """N concurrent clients each get the exact serial-path response."""
+    n_clients = 9  # 3 waves over the 3 distinct challenges
+    batcher = (
+        MicroBatcher(window=0.01, max_items=n_clients).start()
+        if batched
+        else None
+    )
+    harness = ServerHarness(registry, batcher=batcher)
+    failures: list[str] = []
+    start = threading.Barrier(n_clients)
+
+    def client(index: int) -> None:
+        which = index % len(challenges)
+        start.wait()
+        status, body = post_predict(
+            harness.server, {"challenge": challenges[which]}
+        )
+        if status != 200:
+            failures.append(f"client {index}: status {status}")
+        elif canonical(body) != serial_bodies[which]:
+            failures.append(f"client {index}: body differs from serial path")
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(k,)) for k in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+    finally:
+        harness.close()
+    assert not failures, failures
+
+
+def test_batched_server_exposes_serving_metrics(registry, challenges):
+    """After concurrent batched traffic, /metrics shows the batcher."""
+    get_registry().reset()
+    batcher = MicroBatcher(window=0.01).start()
+    harness = ServerHarness(registry, batcher=batcher)
+    try:
+        start = threading.Barrier(6)
+
+        def client(index: int) -> None:
+            start.wait()
+            status, _ = post_predict(
+                harness.server,
+                {"challenge": challenges[index % len(challenges)]},
+            )
+            assert status == 200
+
+        threads = [
+            threading.Thread(target=client, args=(k,)) for k in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        host, port = harness.server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=30
+        ) as response:
+            snapshot = json.load(response)
+    finally:
+        harness.close()
+    assert snapshot["histograms"]["serving_batch_size"]["count"] >= 1
+    assert snapshot["histograms"]["serving_batch_wait_seconds"]["count"] >= 6
+    assert snapshot["histograms"]["serving_queue_depth"]["count"] >= 1

@@ -18,11 +18,29 @@ from repro.splitmfg.challenge import challenge_to_dict
 
 
 @pytest.fixture(scope="module")
-def server(views6, tmp_path_factory):
-    """A live server on an ephemeral port, one model registered."""
+def registry(views6, tmp_path_factory):
+    """A registry holding one small trained model."""
     registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
     registry.save(train_model(CONFIGS_BY_NAME["Imp-7"], views6[:1], seed=0), name="m")
+    return registry
+
+
+@pytest.fixture(scope="module")
+def server(registry):
+    """A live server on an ephemeral port, one model registered."""
     instance = make_server(AttackService(registry), port=0)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def stall_server(registry):
+    """A server with an aggressive stalled-client watchdog."""
+    instance = make_server(AttackService(registry), port=0, request_timeout=0.5)
     thread = threading.Thread(target=instance.serve_forever, daemon=True)
     thread.start()
     yield instance
@@ -191,6 +209,137 @@ class TestRobustness:
         # The server must still answer the next request.
         status, document = _get(server, "/health")
         assert status == 200 and document["status"] == "ok"
+
+
+class TestParameterValidation:
+    """Garbage parameters must draw a 400, never a silent-empty 200."""
+
+    def test_nan_threshold_is_400(self, server, views6):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "threshold": float("nan")},
+        )
+        assert status == 400
+        assert "threshold" in document["error"]
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.5, 1e9, float("inf")])
+    def test_out_of_range_threshold_is_400(self, server, views6, threshold):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "threshold": threshold},
+        )
+        assert status == 400
+        assert "threshold" in document["error"]
+
+    def test_non_numeric_threshold_is_400(self, server, views6):
+        status, _ = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "threshold": [0.5]},
+        )
+        assert status == 400
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0])
+    def test_boundary_thresholds_are_accepted(self, server, views6, threshold):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "threshold": threshold},
+        )
+        assert status == 200
+        assert document["threshold"] == threshold
+
+    @pytest.mark.parametrize("model", [123, 1.5, ["m"], {"id": "m"}, True])
+    def test_non_string_model_is_400(self, server, views6, model):
+        status, document = _post(
+            server,
+            "/predict",
+            {"challenge": challenge_to_dict(views6[0]), "model": model},
+        )
+        assert status == 400
+        assert "model must be a string" in document["error"]
+
+
+class TestStalledClients:
+    """A stalling client must be disconnected, counted, and harmless."""
+
+    def _assert_closed(self, sock):
+        """The server must hang up on us (EOF) despite our stall."""
+        sock.settimeout(10)
+        assert sock.recv(65536) == b""
+
+    def test_body_stall_is_disconnected_and_counted(self, stall_server, views6):
+        get_registry().reset()
+        host, port = stall_server.server_address[:2]
+        body = json.dumps({"challenge": challenge_to_dict(views6[0])}).encode()
+        header = (
+            f"POST /predict HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(header + body[: len(body) // 2])  # ... and stall
+            self._assert_closed(sock)
+        counters = get_registry().snapshot()["counters"]
+        assert counters["http_disconnects{route=/predict}"] == 1
+        # The handler thread is free again; the server keeps serving.
+        status, document = _get(stall_server, "/health")
+        assert status == 200 and document["status"] == "ok"
+
+    def test_header_stall_is_disconnected_and_counted(self, stall_server):
+        get_registry().reset()
+        host, port = stall_server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"POST /pre")  # partial request line, then silence
+            self._assert_closed(sock)
+        counters = get_registry().snapshot()["counters"]
+        assert counters["http_disconnects{route=other}"] == 1
+        assert _get(stall_server, "/health")[0] == 200
+
+    def test_idle_connection_is_reaped(self, stall_server):
+        get_registry().reset()
+        host, port = stall_server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            self._assert_closed(sock)  # never send a byte
+        assert _get(stall_server, "/health")[0] == 200
+
+
+class TestWorkerPool:
+    """``workers=N`` serves correct responses from a bounded pool."""
+
+    def test_pooled_server_handles_concurrent_clients(self, registry, views6):
+        service = AttackService(registry)
+        instance = make_server(service, port=0, workers=3)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            payload = {"challenge": challenge_to_dict(views6[0])}
+            results = []
+            start = threading.Barrier(8)
+
+            def client():
+                start.wait()
+                results.append(_get(instance, "/health")[0])
+                results.append(_post(instance, "/predict", payload)[0])
+
+            clients = [threading.Thread(target=client) for _ in range(8)]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join(timeout=120)
+            assert results.count(200) == 16
+        finally:
+            instance.shutdown()
+            instance.server_close()
+            thread.join(timeout=5)
+        # server_close drained and joined the pool threads.
+        assert all(not worker.is_alive() for worker in instance._workers)
+
+    def test_worker_count_validation(self, registry):
+        with pytest.raises(ValueError, match="workers"):
+            make_server(AttackService(registry), port=0, workers=-1)
 
 
 class TestObservability:

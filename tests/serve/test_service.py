@@ -109,6 +109,42 @@ class TestPredict:
         with pytest.raises((KeyError, TypeError, ValueError)):
             service.predict({"not": "a challenge"})
 
+    def test_garbage_parameters_rejected(self, service, views6):
+        public = challenge_to_dict(views6[0])
+        with pytest.raises(ValueError, match="threshold"):
+            service.predict(public, threshold=float("nan"))
+        with pytest.raises(ValueError, match="threshold"):
+            service.predict(public, threshold=2.0)
+        with pytest.raises(ValueError, match="threshold"):
+            service.predict(public, threshold=-0.5)
+        with pytest.raises(TypeError, match="model"):
+            service.predict(public, model_id=123)
+
+    def test_batched_predictions_identical_to_inline(
+        self, artifact, tmp_path, views6
+    ):
+        from repro.serve.batcher import MicroBatcher
+
+        registry = ModelRegistry(tmp_path)
+        registry.save(artifact, name="m")
+        plain = AttackService(registry)
+        batched = AttackService(
+            registry, batcher=MicroBatcher(window=0.0).start()
+        )
+        public = challenge_to_dict(views6[0])
+        try:
+            inline = plain.predict(public)
+            through_batcher = batched.predict(public)
+            topk_inline = plain.predict(public, top_k=2)
+            topk_batched = batched.predict(public, top_k=2)
+        finally:
+            batched.close()
+        for a, b in ((inline, through_batcher), (topk_inline, topk_batched)):
+            a, b = dict(a), dict(b)
+            a.pop("time_s")
+            b.pop("time_s")
+            assert a == b
+
     def test_models_listing_and_cache(self, service, views6):
         listing = service.models()
         assert [m["model_id"] for m in listing] == ["imp-11-v0001"]
