@@ -36,6 +36,7 @@ from pathlib import Path
 import pytest
 
 from repro.attack.config import CONFIGS_BY_NAME
+from repro.obs.metrics import quantile_from_buckets
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import train_model
 from repro.splitmfg.challenge import challenge_to_dict
@@ -177,20 +178,9 @@ def run_load(server: ServerProc, challenges: list[dict]) -> dict:
 
 def p99_from_metrics(snapshot: dict, route: str = "/predict") -> float:
     """The p99 upper-bound bucket of ``http_request_seconds{route}``."""
-    state = snapshot["histograms"][f"http_request_seconds{{route={route}}}"]
-    total = state["count"]
-    assert total > 0, "no latency samples recorded"
-    finite = sorted(
-        (float(bound), count)
-        for bound, count in state["buckets"].items()
-        if bound not in ("inf", "+inf")
+    return quantile_from_buckets(
+        snapshot, f"http_request_seconds{{route={route}}}", 0.99
     )
-    seen = 0
-    for bound, count in finite:
-        seen += count
-        if seen >= 0.99 * total:
-            return bound
-    return float("inf")  # p99 landed in the +inf bucket
 
 
 def count_5xx(snapshot: dict) -> int:

@@ -13,8 +13,14 @@ Commands:
 * ``predict``  -- score a public challenge file with a registry model;
 * ``serve``    -- serve registry models over a JSON HTTP API;
 * ``models``   -- list the models in a registry;
-* ``cache``    -- inspect (``stats``/``list``) or ``clear`` the on-disk
-  feature cache.
+* ``cache``    -- inspect (``stats``/``list``, ``--json`` for machine
+  consumption) or ``clear`` the on-disk feature cache;
+* ``obs``      -- observability tooling: ``export-trace`` converts a
+  run manifest's span trees into Chrome trace-event JSON for
+  Perfetto / ``chrome://tracing``;
+* ``bench``    -- benchmark trajectory tooling: ``compare`` joins two
+  ``BENCH_*.json`` files and gates wall-time regressions
+  (``--fail-on-regression PCT`` exits nonzero on a slowdown).
 
 ``attack``, ``experiments``, and its alias ``run-all`` accept ``--jobs N``
 (process-pool parallelism over folds/experiments; bit-identical to
@@ -24,8 +30,10 @@ memoization cache (see ``repro.runtime``).
 Observability (``repro.obs``): the global ``--log-level``/``--log-json``
 flags (or ``REPRO_LOG_*`` env vars) configure structured logging to
 stderr; ``experiments``/``run-all`` write a run manifest under
-``results/runs/`` unless ``--no-manifest`` is given; the ``serve`` API
-exposes ``GET /metrics``.  None of it changes report bytes.
+``results/runs/`` unless ``--no-manifest`` is given (schema v2 carries
+a ``resources`` section and per-span peak-RSS watermarks); ``serve``
+runs the resource sampler and exposes the gauges through
+``GET /metrics``.  None of it changes report bytes.
 """
 
 from __future__ import annotations
@@ -265,8 +273,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.resources import start_resource_sampling, stop_resource_sampling
     from .serve import AttackService, MicroBatcher, ModelRegistry, make_server
 
+    start_resource_sampling()  # /metrics reports live RSS/CPU gauges
     batcher = None
     if args.batch_window > 0:
         batcher = MicroBatcher(
@@ -279,6 +289,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except FileNotFoundError as error:
         if batcher is not None:
             batcher.close()
+        stop_resource_sampling()
         print(str(error), file=sys.stderr)
         return 2
     server = make_server(
@@ -306,6 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+        stop_resource_sampling()
     return 0
 
 
@@ -386,6 +398,8 @@ def _format_bytes(n: int | float) -> str:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from .runtime import FeatureCache, default_cache_dir, flush_cache_stats
 
     cache = FeatureCache(args.cache_dir or default_cache_dir())
@@ -403,6 +417,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     # stats (the default): live footprint plus the lifetime sidecar.
     totals = cache.persisted_stats()
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "dir": str(cache.root),
+                    "entries": len(cache),
+                    "total_bytes": cache.total_bytes(),
+                    "lifetime": totals,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         f"{cache.root}: {len(cache)} entries, "
         f"{_format_bytes(cache.total_bytes())}"
@@ -416,6 +444,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"traffic: {_format_bytes(totals['hit_bytes'])} served from cache, "
         f"{_format_bytes(totals['put_bytes'])} written"
     )
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.trace_export import export_trace
+
+    # Only one action so far; argparse guarantees it is "export-trace".
+    try:
+        trace = export_trace(args.manifest, args.out)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    spans = sum(
+        1 for event in trace["traceEvents"] if event.get("ph") == "X"
+    )
+    lanes = len({
+        event["tid"] for event in trace["traceEvents"] if event.get("ph") == "X"
+    })
+    print(
+        f"{spans} span(s) on {lanes} lane(s) -> {args.out} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.bench import (
+        compare_records,
+        find_current_bench,
+        latest_by_case,
+        load_bench_records,
+        regressions,
+        render_comparison,
+    )
+
+    current_path = args.current or find_current_bench()
+    if current_path is None:
+        print(
+            "no BENCH_*.json trajectory found in the working directory; "
+            "pass --current explicitly",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = latest_by_case(load_bench_records(args.baseline))
+        current = latest_by_case(load_bench_records(current_path))
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    rows = compare_records(baseline, current)
+    table = render_comparison(rows, threshold_pct=args.fail_on_regression)
+    print(table)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(table + "\n")
+    if args.fail_on_regression is not None:
+        regressed = regressions(rows, args.fail_on_regression)
+        if regressed:
+            for row in regressed:
+                print(
+                    f"REGRESSION: {row['suite']}::{row['case']} "
+                    f"{row['baseline_wall_s']:.3f}s -> "
+                    f"{row['current_wall_s']:.3f}s "
+                    f"({row['delta_pct']:+.1f}% > +{args.fail_on_regression:g}%)",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 
@@ -530,7 +628,67 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--clear", action="store_true", help="alias for the 'clear' action"
     )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as a JSON document (stats action only)",
+    )
     cache.set_defaults(func=_cmd_cache)
+
+    obs = sub.add_parser(
+        "obs", help="observability tooling (trace export)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_action", required=True)
+    export_trace = obs_sub.add_parser(
+        "export-trace",
+        help="convert a run manifest into Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing)",
+    )
+    export_trace.add_argument(
+        "manifest", help="run manifest JSON (results/runs/<id>.json)"
+    )
+    export_trace.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        help="output trace file (default: trace.json)",
+    )
+    export_trace.set_defaults(func=_cmd_obs)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory tooling (regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_action", required=True)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="join two BENCH_*.json trajectories by (suite, case) and "
+        "print the wall-time delta table",
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="baseline trajectory file (default: benchmarks/baseline.json)",
+    )
+    bench_compare.add_argument(
+        "--current",
+        default=None,
+        help="current trajectory file (default: newest BENCH_*.json in "
+        "the working directory)",
+    )
+    bench_compare.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero when any case is slower than baseline by "
+        "more than PCT percent",
+    )
+    bench_compare.add_argument(
+        "--out",
+        default=None,
+        help="also write the delta table to this file (CI artifact)",
+    )
+    bench_compare.set_defaults(func=_cmd_bench)
 
     train_model = sub.add_parser(
         "train-model", help="train a classifier and register it for serving"

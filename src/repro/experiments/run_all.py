@@ -33,8 +33,9 @@ from ..obs.manifest import (
     build_manifest,
     write_manifest,
 )
-from ..obs.metrics import counter, get_registry
-from ..obs.trace import drain_spans, span
+from ..obs.metrics import counter, gauge, get_registry
+from ..obs.resources import resource_sampling, resources_snapshot
+from ..obs.trace import drain_spans, dropped_spans, span
 from ..runtime import (
     FeatureCache,
     default_cache_dir,
@@ -134,8 +135,13 @@ def run_all(
         # workers inherit the built designs instead of rebuilding them.
         get_suite(scale)
     tasks = [(name, scale, seed, cache_dir) for name in names]
-    with span("run_all", scale=scale, seed=seed, jobs=jobs, n=len(names)):
-        outputs = parallel_map(_run_one, tasks, jobs=jobs)
+    # Sample RSS/CPU for the duration of the run: the gauges and the
+    # per-span peak_rss_bytes watermarks land in the manifest, never in
+    # the report.  The context manager uninstalls the span hook on exit
+    # so spans recorded outside run_all stay watermark-free.
+    with resource_sampling():
+        with span("run_all", scale=scale, seed=seed, jobs=jobs, n=len(names)):
+            outputs = parallel_map(_run_one, tasks, jobs=jobs)
     return dict(zip(names, outputs))
 
 
@@ -172,8 +178,10 @@ def build_run_manifest(
 
     Collects the span trees accumulated since the last drain, the
     metrics registry snapshot (including merged pool-worker counts),
-    and the feature-cache statistics (flushing the lifetime sidecar as
-    a side effect).  Per-experiment entries carry the elapsed time and
+    the resource telemetry (RSS / peak RSS / CPU, with pool-worker
+    peaks folded in by max), and the feature-cache statistics (flushing
+    the lifetime sidecar as a side effect).  Per-experiment entries
+    carry the elapsed time and
     a SHA-256 of the report section, so two manifests can prove their
     reports were byte-identical without storing the text twice.
     """
@@ -193,6 +201,8 @@ def build_run_manifest(
     if cache is not None:
         cache_document = cache.stats()
         cache_document["lifetime"] = flush_cache_stats(cache)
+    gauge("trace_dropped_spans").set(dropped_spans())
+    resources = resources_snapshot()
     return build_manifest(
         command=command,
         config={
@@ -210,6 +220,7 @@ def build_run_manifest(
         metrics=get_registry().snapshot(),
         cache=cache_document,
         experiments=experiments,
+        resources=resources,
     )
 
 

@@ -14,12 +14,23 @@ it keeps ``--out`` documents byte-identical.
   nested wall/CPU timings that serialize to dicts; spans recorded in
   pool workers are returned with the task results and re-attached to
   the parent's open span by ``repro.runtime.parallel_map``;
-* :mod:`repro.obs.metrics` -- process-local registry of counters and
-  histograms with ``snapshot()`` / ``snapshot_delta()`` / ``merge()``
-  so worker-side counts fold into the parent exactly once;
+* :mod:`repro.obs.metrics` -- process-local registry of counters,
+  histograms, and gauges with ``snapshot()`` / ``snapshot_delta()`` /
+  ``merge()`` so worker-side counts fold into the parent exactly once
+  (gauges merge by extremum -- peaks survive the pool);
+* :mod:`repro.obs.resources` -- stdlib resource telemetry: a background
+  sampler feeding ``process_rss_bytes`` / ``process_peak_rss_bytes`` /
+  ``process_cpu_seconds`` gauges from ``/proc/self/status`` (with a
+  ``getrusage`` fallback) plus per-span ``peak_rss_bytes`` watermarks;
 * :mod:`repro.obs.manifest` -- run manifests: one JSON document per
   invocation recording config, seeds, package versions, span trees,
-  metrics, and cache statistics (``results/runs/<timestamp>-<id>.json``).
+  metrics, resources, and cache statistics
+  (``results/runs/<timestamp>-<id>.json``);
+* :mod:`repro.obs.trace_export` -- converts manifest span trees into
+  Chrome trace-event JSON loadable by Perfetto / ``chrome://tracing``
+  (``repro obs export-trace``);
+* :mod:`repro.obs.bench` -- joins ``BENCH_*.json`` trajectory records
+  and gates wall-time regressions (``repro bench compare``).
 """
 
 from .logging import (
@@ -28,20 +39,38 @@ from .logging import (
     get_logger,
     log_config,
 )
-from .manifest import build_manifest, new_run_id, package_versions, write_manifest
+from .manifest import (
+    build_manifest,
+    load_manifest,
+    new_run_id,
+    package_versions,
+    write_manifest,
+)
 from .metrics import (
     COUNT_BUCKETS,
     MetricsRegistry,
     SHORT_WAIT_BUCKETS,
     counter,
+    gauge,
     get_registry,
     histogram,
+    quantile_from_buckets,
     snapshot_delta,
+)
+from .resources import (
+    apply_resource_config,
+    resource_config,
+    resource_sampling,
+    resources_snapshot,
+    start_resource_sampling,
+    stop_resource_sampling,
+    update_resource_gauges,
 )
 from .trace import (
     adopt_spans,
     current_span,
     drain_spans,
+    dropped_spans,
     reset_tracing,
     span,
 )
@@ -52,19 +81,30 @@ __all__ = [
     "SHORT_WAIT_BUCKETS",
     "adopt_spans",
     "apply_log_config",
+    "apply_resource_config",
     "build_manifest",
     "configure_logging",
     "counter",
     "current_span",
     "drain_spans",
+    "dropped_spans",
+    "gauge",
     "get_logger",
     "get_registry",
     "histogram",
+    "load_manifest",
     "log_config",
     "new_run_id",
     "package_versions",
+    "quantile_from_buckets",
     "reset_tracing",
+    "resource_config",
+    "resource_sampling",
+    "resources_snapshot",
     "snapshot_delta",
     "span",
+    "start_resource_sampling",
+    "stop_resource_sampling",
+    "update_resource_gauges",
     "write_manifest",
 ]

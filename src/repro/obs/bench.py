@@ -1,0 +1,161 @@
+"""Benchmark trajectory comparison: the perf regression gate.
+
+``benchmarks/conftest.py`` appends one record per passing benchmark to
+``BENCH_<date>.json`` (``{suite, case, wall_s, throughput_per_s,
+rounds, recorded_utc}``).  Until now nothing read those files back, so
+a regression in the fit kernels or the serving path would land
+silently.  ``repro bench compare`` closes that loop:
+
+* records are joined by ``(suite, case)`` -- the newest record per
+  case wins on each side;
+* the delta table (rendered through :mod:`repro.reporting`, so it
+  diffs like every other report in this repository) shows baseline vs
+  current wall seconds and throughput with a signed percentage;
+* ``--fail-on-regression PCT`` turns the table into a gate: any case
+  slower than baseline by more than ``PCT`` percent makes the command
+  exit nonzero.  CI runs it against the committed
+  ``benchmarks/baseline.json``.
+
+Cases present on only one side are reported (``new`` / ``missing``)
+but never fail the gate: adding a benchmark must not break CI, and a
+skipped benchmark is a coverage problem, not a perf problem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..reporting import ascii_table
+
+#: Case key: the join column across trajectory files.
+CaseKey = tuple[str, str]
+
+
+def load_bench_records(path: str | Path) -> list[dict[str, Any]]:
+    """The record list in one ``BENCH_*.json`` file.
+
+    Raises ``FileNotFoundError`` for a missing file and ``ValueError``
+    for a file that is not a JSON list of objects -- the gate must
+    never silently pass on an empty/corrupt trajectory.
+    """
+    with open(path) as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, list) or not all(
+        isinstance(record, Mapping) for record in loaded
+    ):
+        raise ValueError(f"{path}: expected a JSON list of benchmark records")
+    return [dict(record) for record in loaded]
+
+
+def latest_by_case(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[CaseKey, dict[str, Any]]:
+    """The newest record per ``(suite, case)``.
+
+    Trajectory files are append-only, so file order is chronological;
+    the last occurrence wins.  Records without a usable positive
+    ``wall_s`` are skipped.
+    """
+    latest: dict[CaseKey, dict[str, Any]] = {}
+    for record in records:
+        suite, case = record.get("suite"), record.get("case")
+        try:
+            wall = float(record.get("wall_s", 0.0))
+        except (TypeError, ValueError):
+            continue
+        if not suite or not case or wall <= 0:
+            continue
+        latest[(str(suite), str(case))] = dict(record)
+    return latest
+
+
+def compare_records(
+    baseline: Mapping[CaseKey, Mapping[str, Any]],
+    current: Mapping[CaseKey, Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Join the two sides; one row per case, sorted by (suite, case).
+
+    ``delta_pct`` is the signed wall-time change relative to baseline
+    (positive = slower); ``None`` for one-sided cases, whose ``status``
+    is ``new`` (current only) or ``missing`` (baseline only).
+    """
+    rows: list[dict[str, Any]] = []
+    for key in sorted(set(baseline) | set(current)):
+        suite, case = key
+        base, cur = baseline.get(key), current.get(key)
+        row: dict[str, Any] = {
+            "suite": suite,
+            "case": case,
+            "baseline_wall_s": None if base is None else base["wall_s"],
+            "current_wall_s": None if cur is None else cur["wall_s"],
+            "delta_pct": None,
+        }
+        if base is None:
+            row["status"] = "new"
+        elif cur is None:
+            row["status"] = "missing"
+        else:
+            row["delta_pct"] = 100.0 * (
+                float(cur["wall_s"]) - float(base["wall_s"])
+            ) / float(base["wall_s"])
+            row["status"] = "ok"
+        rows.append(row)
+    return rows
+
+
+def regressions(
+    rows: Iterable[Mapping[str, Any]], threshold_pct: float
+) -> list[dict[str, Any]]:
+    """Rows whose wall time grew by more than ``threshold_pct`` percent."""
+    return [
+        dict(row)
+        for row in rows
+        if row.get("delta_pct") is not None
+        and row["delta_pct"] > threshold_pct
+    ]
+
+
+def render_comparison(
+    rows: Iterable[Mapping[str, Any]],
+    threshold_pct: float | None = None,
+) -> str:
+    """The delta table; regressions flagged when a threshold is given."""
+    table_rows = []
+    for row in rows:
+        delta = row.get("delta_pct")
+        status = row.get("status", "ok")
+        if (
+            threshold_pct is not None
+            and delta is not None
+            and delta > threshold_pct
+        ):
+            status = "REGRESSED"
+        table_rows.append(
+            [
+                row["suite"],
+                row["case"],
+                row.get("baseline_wall_s"),
+                row.get("current_wall_s"),
+                None if delta is None else f"{delta:+.1f}%",
+                status,
+            ]
+        )
+    title = "benchmark trajectory: baseline vs current"
+    if threshold_pct is not None:
+        title += f" (gate: +{threshold_pct:g}%)"
+    return ascii_table(
+        ("suite", "case", "base wall_s", "curr wall_s", "delta", "status"),
+        table_rows,
+        title=title,
+    )
+
+
+def find_current_bench(directory: str | Path = ".") -> Path | None:
+    """The newest ``BENCH_*.json`` in ``directory`` (name, then mtime)."""
+    candidates = sorted(
+        Path(directory).glob("BENCH_*.json"),
+        key=lambda p: (p.name, p.stat().st_mtime),
+    )
+    return candidates[-1] if candidates else None

@@ -3,9 +3,22 @@
 A manifest answers "what exactly produced this result?" months later:
 the command and its configuration, the root seed (all per-fold seeds
 derive from it via ``SeedSequence.spawn``), the package versions, the
-span trees timing every pipeline stage, the metrics snapshot, and the
-feature-cache statistics.  ``repro.experiments.run_all`` writes one to
+span trees timing every pipeline stage, the metrics snapshot, the
+resource telemetry, and the feature-cache statistics.
+``repro.experiments.run_all`` writes one to
 ``results/runs/<timestamp>-<id>.json`` by default.
+
+Schema history:
+
+* **v1** -- config/seeds/versions/host/spans/metrics (+ optional
+  cache/experiments); spans carry ``wall_s``/``cpu_s`` only and the
+  metrics snapshot has no ``gauges`` section.
+* **v2** -- adds a top-level ``resources`` section (RSS / peak-RSS /
+  CPU readings from :mod:`repro.obs.resources`), ``gauges`` inside the
+  metrics snapshot, and ``start_s`` + ``peak_rss_bytes`` on spans.
+  :func:`load_manifest` reads both: v1 documents come back with the
+  new sections defaulted, so downstream tools (the Chrome-trace
+  exporter) never branch on version.
 
 Manifests are observability output, never experiment output: the
 report documents compared across ``--jobs`` values do not contain (or
@@ -24,7 +37,10 @@ from pathlib import Path
 from typing import Any
 
 #: Manifest schema version (bump on breaking layout changes).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_manifest` knows how to read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Default directory for run manifests, relative to the working dir.
 DEFAULT_MANIFEST_DIR = Path("results") / "runs"
@@ -58,6 +74,7 @@ def build_manifest(
     metrics: dict[str, Any] | None = None,
     cache: dict[str, Any] | None = None,
     experiments: dict[str, Any] | None = None,
+    resources: dict[str, Any] | None = None,
     run_id: str | None = None,
 ) -> dict[str, Any]:
     """Assemble a manifest document (pure; nothing is written)."""
@@ -75,11 +92,41 @@ def build_manifest(
         },
         "spans": spans or [],
         "metrics": metrics or {},
+        "resources": resources or {},
     }
     if cache is not None:
         manifest["cache"] = cache
     if experiments is not None:
         manifest["experiments"] = experiments
+    return manifest
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest of any supported schema version.
+
+    v1 documents are upgraded in memory: the ``resources`` section and
+    the metrics ``gauges`` map come back empty (they were never
+    recorded), so v2-era consumers index them without branching.  The
+    recorded ``schema_version`` is preserved.  Raises ``ValueError``
+    for documents from a future (or missing) schema.
+    """
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{path}: manifest is not a JSON object")
+    version = manifest.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"{path}: unsupported manifest schema_version {version!r} "
+            f"(supported: {SUPPORTED_SCHEMA_VERSIONS})"
+        )
+    manifest.setdefault("spans", [])
+    manifest.setdefault("resources", {})
+    metrics = manifest.setdefault("metrics", {})
+    if isinstance(metrics, dict):
+        metrics.setdefault("counters", {})
+        metrics.setdefault("histograms", {})
+        metrics.setdefault("gauges", {})
     return manifest
 
 

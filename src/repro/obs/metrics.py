@@ -1,16 +1,22 @@
-"""Process-local metrics: named counters and histograms with snapshots.
+"""Process-local metrics: counters, histograms, and gauges with snapshots.
 
-The registry is a flat namespace of monotonically-increasing counters
-and fixed-bucket histograms.  Labels are folded into the metric name
-with a stable encoding (``http_requests{route=/predict,status=200}``)
-so a snapshot is a plain ``str -> number`` mapping that serializes
-directly into manifests and the ``GET /metrics`` response.
+The registry is a flat namespace of monotonically-increasing counters,
+fixed-bucket histograms, and last-value gauges.  Labels are folded into
+the metric name with a stable encoding
+(``http_requests{route=/predict,status=200}``) so a snapshot is a plain
+``str -> number`` mapping that serializes directly into manifests and
+the ``GET /metrics`` response.
 
 Pool workers each accumulate into their own (forked) registry; the pool
 wrapper snapshots before and after the task, ships the
 :func:`snapshot_delta` back with the result, and the parent
 :meth:`MetricsRegistry.merge`\\ s it -- counts survive the pool without
-double-counting whatever the worker inherited through ``fork``.
+double-counting whatever the worker inherited through ``fork``.  Gauges
+merge by element-wise extremum (``value``/``max`` take the max, ``min``
+the min): the gauges in use record resource peaks
+(``process_peak_rss_bytes``), so a ``--jobs N`` run's merged peak is
+the same number serial attribution would report -- the high watermark
+over all the work, wherever it ran.
 
 All mutation is lock-protected: the serving stack increments from
 ``ThreadingHTTPServer`` handler threads.
@@ -99,6 +105,43 @@ class Counter:
         return self._value
 
 
+class Gauge:
+    """A last-value gauge that also tracks its min/max watermarks.
+
+    ``set`` overwrites the current value and folds it into the min/max
+    extrema; gauges carry point-in-time readings (RSS bytes, queue
+    length) where a counter's monotonic-sum semantics are wrong.  Under
+    :meth:`MetricsRegistry.merge` the ``value`` and ``max`` combine by
+    maximum and ``min`` by minimum, so merged peak gauges report the
+    process-tree-wide high watermark.
+    """
+
+    __slots__ = ("name", "_value", "_min", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | None = None
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state: last value plus min/max watermarks."""
+        with self._lock:
+            return {"value": self._value, "min": self._min, "max": self._max}
+
+
 class Histogram:
     """Fixed-bucket histogram of observations (count/sum/min/max)."""
 
@@ -153,6 +196,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     # -- construction ---------------------------------------------------
@@ -180,17 +224,30 @@ class MetricsRegistry:
                 existing = self._histograms[full] = Histogram(full, buckets)
             return existing
 
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The named gauge, created on first use."""
+        full = metric_name(name, labels)
+        with self._lock:
+            existing = self._gauges.get(full)
+            if existing is None:
+                existing = self._gauges[full] = Gauge(full)
+            return existing
+
     # -- export / merge -------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """Point-in-time export: ``{"counters": ..., "histograms": ...}``."""
+        """Point-in-time export: counters, histograms, and gauges."""
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
         return {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "histograms": {
                 name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+            "gauges": {
+                name: g.snapshot() for name, g in sorted(gauges.items())
             },
         }
 
@@ -198,7 +255,9 @@ class MetricsRegistry:
         """Fold a snapshot (typically a worker delta) into this registry.
 
         Counter values add; histogram counts/sums/buckets add, min/max
-        combine when the delta carries them.
+        combine when the delta carries them; gauge ``value``/``max``
+        combine by maximum and ``min`` by minimum (peaks survive the
+        pool, they are never summed).
         """
         if not snapshot:
             return
@@ -234,12 +293,32 @@ class MetricsRegistry:
                         f"_{bound}",
                         incoming if mine is None else pick(mine, incoming),
                     )
+        for name, state in snapshot.get("gauges", {}).items():
+            if not state or state.get("value") is None:
+                continue
+            gauge = self.gauge(name)
+            with gauge._lock:
+                for field, pick in (
+                    ("_value", max),
+                    ("_max", max),
+                    ("_min", min),
+                ):
+                    incoming = state.get(field.lstrip("_"))
+                    if incoming is None:
+                        continue
+                    mine = getattr(gauge, field)
+                    setattr(
+                        gauge,
+                        field,
+                        incoming if mine is None else pick(mine, incoming),
+                    )
 
     def reset(self) -> None:
         """Drop every metric (tests and worker initialization)."""
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()
 
 
 def snapshot_delta(
@@ -252,6 +331,9 @@ def snapshot_delta(
     earlier tasks on a reused worker.  Histogram min/max are only
     carried when the period started from an empty histogram (otherwise
     they cannot be attributed to the delta period and are omitted).
+    Gauges are point-in-time readings, not accumulations, so the delta
+    simply carries every gauge whose state changed during the period;
+    the parent's merge folds them in by extremum, which is idempotent.
     """
     counters_before = before.get("counters", {})
     delta_counters = {
@@ -279,7 +361,50 @@ def snapshot_delta(
                 for upper, total in state.get("buckets", {}).items()
             },
         }
-    return {"counters": delta_counters, "histograms": delta_histograms}
+    gauges_before = before.get("gauges", {})
+    delta_gauges = {
+        name: dict(state)
+        for name, state in after.get("gauges", {}).items()
+        if state.get("value") is not None and state != gauges_before.get(name)
+    }
+    return {
+        "counters": delta_counters,
+        "histograms": delta_histograms,
+        "gauges": delta_gauges,
+    }
+
+
+def quantile_from_buckets(
+    snapshot: Mapping[str, Any], name: str, q: float
+) -> float:
+    """Upper-bound estimate of quantile ``q`` from a snapshotted histogram.
+
+    ``name`` is the full (label-encoded) histogram name inside a
+    registry snapshot (or a ``GET /metrics`` body).  The estimate is the
+    upper bound of the first bucket at which the cumulative count
+    reaches ``q * count`` -- conservative by construction, which is the
+    right direction for latency gates.  Returns ``inf`` when the
+    quantile lands in the overflow bucket; raises ``KeyError`` for an
+    unknown histogram and ``ValueError`` when it holds no samples or
+    ``q`` is outside ``(0, 1]``.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    state = snapshot["histograms"][name]
+    total = state["count"]
+    if not total:
+        raise ValueError(f"histogram {name!r} holds no samples")
+    finite = sorted(
+        (float(bound), count)
+        for bound, count in state["buckets"].items()
+        if bound != INF_BUCKET
+    )
+    seen = 0
+    for bound, count in finite:
+        seen += count
+        if seen >= q * total:
+            return bound
+    return float("inf")  # the quantile landed in the overflow bucket
 
 
 _registry = MetricsRegistry()
@@ -300,3 +425,8 @@ def histogram(
 ) -> Histogram:
     """Shorthand for ``get_registry().histogram(...)``."""
     return _registry.histogram(name, buckets=buckets, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Shorthand for ``get_registry().gauge(...)``."""
+    return _registry.gauge(name, **labels)

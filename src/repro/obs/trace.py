@@ -24,6 +24,19 @@ parallel runs therefore produce the same tree shape, timings aside.
 The finished list is bounded (:data:`MAX_FINISHED_SPANS`) so that a
 long-running server recording spans nobody drains cannot grow without
 limit; the oldest trees are dropped and counted in ``dropped_spans``.
+
+Two optional extensions feed the resource/trace-export layer:
+
+* every span dict carries ``start_s``, its ``time.perf_counter()``
+  reading at entry.  On Linux that clock is ``CLOCK_MONOTONIC`` --
+  system-wide, so spans recorded in forked pool workers share the
+  parent's time base and the Chrome-trace exporter
+  (:mod:`repro.obs.trace_export`) can lay them out on a real timeline;
+* a process-wide *resource hook* (:func:`set_resource_hook`, installed
+  by :mod:`repro.obs.resources`) is consulted at every span open/close
+  and may attach attributes to the closing span -- this is how spans
+  gain ``peak_rss_bytes`` watermarks without this module knowing
+  anything about ``/proc``.
 """
 
 from __future__ import annotations
@@ -40,12 +53,48 @@ _local = threading.local()
 _finished: list[dict[str, Any]] = []
 _dropped = 0
 _lock = threading.Lock()
+_resource_hook: "ResourceHook | None" = None
+
+
+class ResourceHook:
+    """Protocol for per-span resource probes (duck-typed, not enforced).
+
+    ``open_span()`` returns an opaque token when a span starts;
+    ``close_span(token)`` returns a dict of attributes to attach to the
+    closing span (empty when there is nothing to report).  Implemented
+    by :mod:`repro.obs.resources`; the hook must never raise.
+    """
+
+    def open_span(self) -> Any:  # pragma: no cover - interface only
+        return None
+
+    def close_span(self, token: Any) -> dict[str, Any]:  # pragma: no cover
+        return {}
+
+
+def set_resource_hook(hook: ResourceHook | None) -> None:
+    """Install (or with ``None`` remove) the process-wide resource hook."""
+    global _resource_hook
+    _resource_hook = hook
+
+
+def resource_hook() -> ResourceHook | None:
+    """The currently-installed resource hook, if any."""
+    return _resource_hook
 
 
 class Span:
     """One live timing span; ``to_dict()`` freezes it for serialization."""
 
-    __slots__ = ("name", "attrs", "children", "status", "wall_s", "cpu_s")
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "status",
+        "wall_s",
+        "cpu_s",
+        "start_s",
+    )
 
     def __init__(self, name: str, attrs: dict[str, Any]) -> None:
         self.name = name
@@ -54,6 +103,7 @@ class Span:
         self.status = "ok"
         self.wall_s = 0.0
         self.cpu_s = 0.0
+        self.start_s = 0.0
 
     def set(self, **attrs: Any) -> None:
         """Attach (or overwrite) attributes while the span is open."""
@@ -66,6 +116,7 @@ class Span:
             "attrs": dict(self.attrs),
             "wall_s": round(self.wall_s, 6),
             "cpu_s": round(self.cpu_s, 6),
+            "start_s": round(self.start_s, 6),
             "status": self.status,
             "children": list(self.children),
         }
@@ -90,8 +141,11 @@ def span(name: str, /, **attrs: Any) -> Iterator[Span]:
     current = Span(name, dict(attrs))
     stack = _stack()
     stack.append(current)
+    hook = _resource_hook
+    token = hook.open_span() if hook is not None else None
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
+    current.start_s = wall0
     try:
         yield current
     except BaseException:
@@ -100,6 +154,8 @@ def span(name: str, /, **attrs: Any) -> Iterator[Span]:
     finally:
         current.wall_s = time.perf_counter() - wall0
         current.cpu_s = time.process_time() - cpu0
+        if hook is not None:
+            current.attrs.update(hook.close_span(token))
         stack.pop()
         document = current.to_dict()
         if stack:

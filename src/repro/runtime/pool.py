@@ -7,12 +7,17 @@ every ``N``.  Determinism is the caller's job (see
 fast path are this module's.
 
 Observability rides along invisibly: when work goes to the pool, each
-task is wrapped so the worker (1) re-applies the parent's logging
-configuration, (2) resets tracing (``fork`` leaks the parent's open
-span stack), and (3) ships its finished spans and its metrics *delta*
-back beside the result.  The parent re-attaches the spans under its
-open span and merges the metric deltas -- in input order, so traces and
-counts are the same whether the task ran serially or on a worker.
+task is wrapped so the worker (1) re-applies the parent's logging and
+resource-sampling configuration, (2) resets tracing (``fork`` leaks
+the parent's open span stack), and (3) ships its finished spans and
+its metrics *delta* back beside the result.  The parent re-attaches
+the spans under its open span and merges the metric deltas -- in input
+order, so traces and counts are the same whether the task ran serially
+or on a worker.  Worker-recorded root spans are stamped with a
+``worker_pid`` attribute (the Chrome-trace exporter lays each worker
+out on its own lane), and worker resource gauges -- peak RSS above
+all -- merge into the parent by element-wise max, so ``--jobs N``
+resource accounting matches what serial attribution would report.
 """
 
 from __future__ import annotations
@@ -24,6 +29,11 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..obs.logging import apply_log_config, log_config
 from ..obs.metrics import get_registry, snapshot_delta
+from ..obs.resources import (
+    apply_resource_config,
+    resource_config,
+    update_resource_gauges,
+)
 from ..obs.trace import adopt_spans, drain_spans, reset_tracing
 
 T = TypeVar("T")
@@ -52,15 +62,24 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def _observed_call(
-    payload: tuple[Callable[[T], R], T, dict[str, Any] | None],
+    payload: tuple[
+        Callable[[T], R], T, dict[str, Any] | None, dict[str, Any] | None
+    ],
 ) -> tuple[R, list[dict[str, Any]], dict[str, Any]]:
     """Run one task in a worker, capturing its spans and metric delta."""
-    fn, item, logging_config = payload
+    fn, item, logging_config, sampling_config = payload
     apply_log_config(logging_config)
+    apply_resource_config(sampling_config)
     reset_tracing()
     before = get_registry().snapshot()
     result = fn(item)
+    if sampling_config:
+        # Final reading so the shipped gauge delta carries this task's
+        # peak even when the sampler thread did not tick at the end.
+        update_resource_gauges()
     spans = drain_spans()
+    for document in spans:
+        document.setdefault("attrs", {})["worker_pid"] = os.getpid()
     delta = snapshot_delta(before, get_registry().snapshot())
     return result, spans, delta
 
@@ -84,7 +103,10 @@ def parallel_map(
         return [fn(item) for item in work]
     workers = min(jobs, len(work))
     logging_config = log_config()
-    payloads = [(fn, item, logging_config) for item in work]
+    sampling_config = resource_config()
+    payloads = [
+        (fn, item, logging_config, sampling_config) for item in work
+    ]
     with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
         observed = list(pool.map(_observed_call, payloads))
     registry = get_registry()

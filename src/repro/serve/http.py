@@ -6,7 +6,8 @@ Endpoints:
 * ``GET  /models``  -- registry listing (``RegistryEntry.describe``);
 * ``GET  /metrics`` -- snapshot of the process metrics registry
   (request counts and latency histograms by route/status, cache and
-  pipeline counters -- see OBSERVABILITY.md for the contract);
+  pipeline counters, resource and ``trace_dropped_spans`` gauges --
+  see OBSERVABILITY.md for the contract);
 * ``POST /predict`` -- body ``{"challenge": <public doc>,
   "model": <id|name, optional>, "threshold": <float, optional>,
   "top_k": <int, optional>}``; responds with the service's prediction
@@ -42,7 +43,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..obs.logging import get_logger
-from ..obs.metrics import counter, get_registry, histogram
+from ..obs.metrics import counter, gauge, get_registry, histogram
+from ..obs.resources import resource_config, update_resource_gauges
+from ..obs.trace import dropped_spans
 from .registry import ModelNotFoundError
 from .service import AttackService
 
@@ -279,6 +282,12 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/models":
             self._send_json(200, {"models": self.server.service.models()})
         elif self.path == "/metrics":
+            if resource_config() is not None:
+                # Scrape-time refresh: the gauges are at most one
+                # sampler interval stale, but a scrape deserves a
+                # reading taken *now*.
+                update_resource_gauges()
+            gauge("trace_dropped_spans").set(dropped_spans())
             snapshot = get_registry().snapshot()
             snapshot["uptime_s"] = round(
                 time.time() - getattr(self.server, "started", time.time()), 3

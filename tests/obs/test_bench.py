@@ -1,0 +1,140 @@
+"""Tests for the benchmark regression gate (repro.obs.bench)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    compare_records,
+    find_current_bench,
+    latest_by_case,
+    load_bench_records,
+    regressions,
+    render_comparison,
+)
+
+
+def _record(suite, case, wall_s, **extra):
+    return {
+        "suite": suite,
+        "case": case,
+        "wall_s": wall_s,
+        "throughput_per_s": 1.0 / wall_s,
+        "rounds": 3,
+        "recorded_utc": "2026-01-01T00:00:00Z",
+        **extra,
+    }
+
+
+def _write(path, records):
+    path.write_text(json.dumps(records))
+    return path
+
+
+class TestLoadRecords:
+    def test_round_trip(self, tmp_path):
+        records = [_record("s", "c", 1.0)]
+        path = _write(tmp_path / "BENCH_x.json", records)
+        assert load_bench_records(path) == records
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bench_records(tmp_path / "nope.json")
+
+    def test_non_list_raises(self, tmp_path):
+        path = _write(tmp_path / "bad.json", {"not": "a list"})
+        with pytest.raises(ValueError, match="list"):
+            load_bench_records(path)
+
+
+class TestLatestByCase:
+    def test_last_record_wins(self):
+        latest = latest_by_case(
+            [_record("s", "c", 1.0), _record("s", "c", 2.0)]
+        )
+        assert latest[("s", "c")]["wall_s"] == 2.0
+
+    def test_unusable_records_skipped(self):
+        latest = latest_by_case(
+            [
+                {"suite": "s", "case": "c", "wall_s": 0.0},
+                {"suite": "s", "case": "c2"},
+                {"case": "orphan", "wall_s": 1.0},
+                _record("s", "ok", 0.5),
+            ]
+        )
+        assert set(latest) == {("s", "ok")}
+
+
+class TestCompare:
+    def test_synthetic_2x_slowdown_detected(self):
+        """The acceptance scenario: every case 2x slower must trip a
+        50% gate."""
+        baseline = latest_by_case(
+            [_record("s", "fit", 0.5), _record("s", "predict", 0.2)]
+        )
+        current = latest_by_case(
+            [_record("s", "fit", 1.0), _record("s", "predict", 0.4)]
+        )
+        rows = compare_records(baseline, current)
+        assert all(row["delta_pct"] == pytest.approx(100.0) for row in rows)
+        regressed = regressions(rows, threshold_pct=50.0)
+        assert {row["case"] for row in regressed} == {"fit", "predict"}
+
+    def test_within_threshold_passes(self):
+        baseline = latest_by_case([_record("s", "fit", 1.0)])
+        current = latest_by_case([_record("s", "fit", 1.3)])
+        rows = compare_records(baseline, current)
+        assert regressions(rows, threshold_pct=50.0) == []
+
+    def test_speedup_never_regresses(self):
+        baseline = latest_by_case([_record("s", "fit", 1.0)])
+        current = latest_by_case([_record("s", "fit", 0.2)])
+        (row,) = compare_records(baseline, current)
+        assert row["delta_pct"] == pytest.approx(-80.0)
+        assert regressions([row], threshold_pct=0.0) == []
+
+    def test_one_sided_cases_reported_not_gated(self):
+        baseline = latest_by_case([_record("s", "old", 1.0)])
+        current = latest_by_case([_record("s", "new", 1.0)])
+        rows = compare_records(baseline, current)
+        statuses = {row["case"]: row["status"] for row in rows}
+        assert statuses == {"old": "missing", "new": "new"}
+        assert regressions(rows, threshold_pct=0.0) == []
+
+    def test_rows_sorted_by_suite_then_case(self):
+        baseline = latest_by_case(
+            [_record("b", "z", 1.0), _record("a", "y", 1.0)]
+        )
+        rows = compare_records(baseline, baseline)
+        assert [(row["suite"], row["case"]) for row in rows] == [
+            ("a", "y"),
+            ("b", "z"),
+        ]
+
+
+class TestRender:
+    def test_regressions_flagged_in_table(self):
+        baseline = latest_by_case([_record("s", "fit", 0.5)])
+        current = latest_by_case([_record("s", "fit", 1.0)])
+        rows = compare_records(baseline, current)
+        table = render_comparison(rows, threshold_pct=50.0)
+        assert "REGRESSED" in table
+        assert "+100.0%" in table
+        assert "gate: +50%" in table
+
+    def test_no_threshold_keeps_ok_status(self):
+        baseline = latest_by_case([_record("s", "fit", 0.5)])
+        current = latest_by_case([_record("s", "fit", 1.0)])
+        table = render_comparison(compare_records(baseline, current))
+        assert "REGRESSED" not in table
+
+
+class TestFindCurrent:
+    def test_newest_by_name(self, tmp_path):
+        _write(tmp_path / "BENCH_2026-01-01.json", [])
+        newest = _write(tmp_path / "BENCH_2026-02-01.json", [])
+        assert find_current_bench(tmp_path) == newest
+
+    def test_none_when_absent(self, tmp_path):
+        assert find_current_bench(tmp_path) is None

@@ -3,9 +3,13 @@
 import json
 import re
 
+import pytest
+
 from repro.obs.manifest import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     build_manifest,
+    load_manifest,
     new_run_id,
     package_versions,
     write_manifest,
@@ -56,6 +60,102 @@ class TestBuildManifest:
         assert "cache" not in manifest
         assert "experiments" not in manifest
         assert manifest["spans"] == []
+
+
+class TestSchemaV2:
+    def test_resources_section_always_present(self):
+        manifest = build_manifest(command="x", config={}, seeds={})
+        assert manifest["schema_version"] == 2
+        assert manifest["resources"] == {}
+
+    def test_resources_carried_through(self):
+        manifest = build_manifest(
+            command="x",
+            config={},
+            seeds={},
+            resources={"rss_bytes": 123.0, "samples": 4},
+        )
+        assert manifest["resources"]["rss_bytes"] == 123.0
+
+    def test_v2_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            command="run_all",
+            config={"jobs": 4},
+            seeds={"root": 0},
+            spans=[
+                {
+                    "name": "run_all",
+                    "wall_s": 1.0,
+                    "start_s": 100.0,
+                    "attrs": {"peak_rss_bytes": 42},
+                    "children": [],
+                }
+            ],
+            metrics={
+                "counters": {"x": 1},
+                "histograms": {},
+                "gauges": {
+                    "process_rss_bytes": {
+                        "value": 9.0, "min": 1.0, "max": 9.0
+                    }
+                },
+            },
+            resources={"rss_bytes": 9.0},
+        )
+        path = write_manifest(manifest, tmp_path)
+        assert load_manifest(path) == manifest
+
+
+class TestLoadManifestBackCompat:
+    def _write_v1(self, tmp_path):
+        """A hand-built v1 document: no resources/gauges/start_s."""
+        import json
+
+        document = {
+            "schema_version": 1,
+            "run_id": "20250101T000000Z-deadbeef",
+            "command": "run_all",
+            "config": {"jobs": 1},
+            "seeds": {"root": 0},
+            "spans": [{"name": "run_all", "wall_s": 1.5, "attrs": {}}],
+            "metrics": {"counters": {"x": 2}, "histograms": {}},
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_v1_reads_with_defaults(self, tmp_path):
+        manifest = load_manifest(self._write_v1(tmp_path))
+        assert manifest["schema_version"] == 1  # preserved, not rewritten
+        assert manifest["resources"] == {}
+        assert manifest["metrics"]["gauges"] == {}
+        assert manifest["metrics"]["counters"] == {"x": 2}
+        assert manifest["spans"][0]["name"] == "run_all"
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_manifest(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "none.json"
+        path.write_text(json.dumps({"command": "x"}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_manifest(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_manifest(path)
+
+    def test_current_version_supported(self):
+        assert SCHEMA_VERSION in SUPPORTED_SCHEMA_VERSIONS
 
 
 class TestWriteManifest:

@@ -6,9 +6,11 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
     counter,
+    gauge,
     get_registry,
     histogram,
     metric_name,
+    quantile_from_buckets,
     snapshot_delta,
 )
 
@@ -63,6 +65,79 @@ class TestHistograms:
         assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
 
 
+class TestGauges:
+    def test_set_tracks_last_min_max(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("rss")
+        for value in (10, 30, 20):
+            g.set(value)
+        assert g.value == 20
+        assert registry.snapshot()["gauges"]["rss"] == {
+            "value": 20.0,
+            "min": 10.0,
+            "max": 30.0,
+        }
+
+    def test_unset_gauge_snapshots_none(self):
+        registry = MetricsRegistry()
+        registry.gauge("idle")
+        assert registry.snapshot()["gauges"]["idle"] == {
+            "value": None,
+            "min": None,
+            "max": None,
+        }
+
+    def test_same_name_same_gauge(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.gauge("g", pid=1) is not registry.gauge("g")
+
+    def test_module_shorthand_uses_default_registry(self):
+        gauge("short_g").set(7)
+        assert get_registry().snapshot()["gauges"]["short_g"]["value"] == 7
+
+    def test_reset_clears_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        registry.reset()
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestQuantileFromBuckets:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in [0.05] * 50 + [0.5] * 45 + [5.0] * 4 + [99.0]:
+            h.observe(value)
+        return registry.snapshot()
+
+    def test_median_and_p99_upper_bounds(self):
+        snapshot = self._snapshot()
+        assert quantile_from_buckets(snapshot, "lat", 0.5) == 0.1
+        assert quantile_from_buckets(snapshot, "lat", 0.95) == 1.0
+        assert quantile_from_buckets(snapshot, "lat", 0.99) == 10.0
+
+    def test_overflow_bucket_is_inf(self):
+        assert quantile_from_buckets(self._snapshot(), "lat", 1.0) == float(
+            "inf"
+        )
+
+    def test_unknown_histogram_raises(self):
+        with pytest.raises(KeyError):
+            quantile_from_buckets(self._snapshot(), "nope", 0.5)
+
+    def test_bad_quantile_raises(self):
+        for q in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                quantile_from_buckets(self._snapshot(), "lat", q)
+
+    def test_empty_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            quantile_from_buckets(registry.snapshot(), "lat", 0.5)
+
+
 class TestDeltaAndMerge:
     def test_counter_delta(self):
         registry = MetricsRegistry()
@@ -113,8 +188,48 @@ class TestDeltaAndMerge:
     def test_merge_none_or_empty_is_noop(self):
         registry = MetricsRegistry()
         registry.merge(None)
-        registry.merge({"counters": {}, "histograms": {}})
-        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+        registry.merge({"counters": {}, "histograms": {}, "gauges": {}})
+        assert registry.snapshot() == {
+            "counters": {},
+            "histograms": {},
+            "gauges": {},
+        }
+
+    def test_gauge_delta_ships_changed_gauges_only(self):
+        registry = MetricsRegistry()
+        registry.gauge("stable").set(5)
+        registry.gauge("moving").set(1)
+        before = registry.snapshot()
+        registry.gauge("moving").set(9)
+        registry.gauge("fresh").set(2)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert set(delta["gauges"]) == {"moving", "fresh"}
+        assert delta["gauges"]["moving"]["max"] == 9.0
+
+    def test_gauge_merge_takes_elementwise_extrema(self):
+        parent = MetricsRegistry()
+        parent.gauge("peak").set(100)
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.gauge("peak").set(50)
+        worker.gauge("peak").set(300)
+        worker.gauge("peak").set(200)
+        parent.merge(snapshot_delta(before, worker.snapshot()))
+        state = parent.snapshot()["gauges"]["peak"]
+        # value/max combine by max (peaks survive the pool), min by min:
+        # the worker's mid-task 300 survives as the max watermark even
+        # though its last reading was 200.
+        assert state["value"] == 200.0
+        assert state["max"] == 300.0
+        assert state["min"] == 50.0
+
+    def test_gauge_merge_skips_unset_states(self):
+        parent = MetricsRegistry()
+        parent.gauge("g").set(4)
+        parent.merge(
+            {"gauges": {"g": {"value": None, "min": None, "max": None}}}
+        )
+        assert parent.snapshot()["gauges"]["g"]["value"] == 4.0
 
     def test_delta_then_merge_is_exact_under_simulated_fork(self):
         """A 'worker' inheriting parent counts reports only its own work."""

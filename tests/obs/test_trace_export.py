@@ -1,0 +1,156 @@
+"""Tests for the Chrome trace-event exporter (repro.obs.trace_export)."""
+
+import json
+
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.trace_export import (
+    MAIN_LANE,
+    TRACE_PID,
+    export_trace,
+    manifest_to_trace,
+)
+
+
+def _span(name, wall_s, start_s=None, attrs=None, children=()):
+    document = {
+        "name": name,
+        "wall_s": wall_s,
+        "cpu_s": wall_s / 2,
+        "status": "ok",
+        "attrs": attrs or {},
+        "children": list(children),
+    }
+    if start_s is not None:
+        document["start_s"] = start_s
+    return document
+
+
+def _sample_manifest(**overrides):
+    spans = [
+        _span(
+            "run_all",
+            2.0,
+            start_s=100.0,
+            children=[
+                _span(
+                    "experiment",
+                    0.8,
+                    start_s=100.1,
+                    attrs={"name": "figure4", "worker_pid": 4001},
+                ),
+                _span(
+                    "experiment",
+                    0.9,
+                    start_s=100.15,
+                    attrs={"name": "figure8", "worker_pid": 4002},
+                ),
+            ],
+        )
+    ]
+    manifest = build_manifest(
+        command="run_all", config={}, seeds={"root": 0}, spans=spans
+    )
+    manifest.update(overrides)
+    return manifest
+
+
+class TestEventValidity:
+    def test_every_duration_event_has_required_keys(self):
+        trace = manifest_to_trace(_sample_manifest())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        for event in events:
+            for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"):
+                assert key in event
+            assert event["pid"] == TRACE_PID
+            assert event["ts"] >= 0
+            assert event["dur"] > 0
+
+    def test_timestamps_rebased_to_earliest_span(self):
+        trace = manifest_to_trace(_sample_manifest())
+        root = next(
+            e for e in trace["traceEvents"] if e.get("name") == "run_all"
+        )
+        assert root["ts"] == 0.0  # earliest start_s becomes t=0
+        assert root["dur"] == 2.0 * 1e6  # microseconds
+
+    def test_args_carry_attrs_cpu_and_status(self):
+        trace = manifest_to_trace(_sample_manifest())
+        experiment = next(
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e["args"].get("name") == "figure4"
+        )
+        assert experiment["args"]["status"] == "ok"
+        assert experiment["args"]["cpu_s"] == 0.4
+
+    def test_json_serializable(self):
+        trace = manifest_to_trace(_sample_manifest())
+        assert json.loads(json.dumps(trace)) == trace
+
+
+class TestLanes:
+    def test_workers_on_separate_lanes_with_names(self):
+        trace = manifest_to_trace(_sample_manifest())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        lanes = {e["args"].get("worker_pid"): e["tid"] for e in events}
+        assert lanes[None] == MAIN_LANE
+        assert lanes[4001] != lanes[4002]
+        assert MAIN_LANE not in (lanes[4001], lanes[4002])
+        thread_names = {
+            m["tid"]: m["args"]["name"]
+            for m in trace["traceEvents"]
+            if m["ph"] == "M" and m["name"] == "thread_name"
+        }
+        assert thread_names[MAIN_LANE] == "main"
+        assert thread_names[lanes[4001]] == "worker 4001"
+
+    def test_children_without_worker_pid_inherit_lane(self):
+        manifest = _sample_manifest()
+        manifest["spans"][0]["children"][0]["children"] = [
+            _span("fold", 0.2, start_s=100.2)
+        ]
+        trace = manifest_to_trace(manifest)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        fold = next(e for e in events if e["name"] == "fold")
+        parent = next(
+            e for e in events if e["args"].get("name") == "figure4"
+        )
+        assert fold["tid"] == parent["tid"]
+
+
+class TestV1Fallback:
+    def test_spans_without_start_s_get_sequential_layout(self):
+        spans = [
+            _span("a", 1.0, children=[_span("a1", 0.4), _span("a2", 0.5)]),
+            _span("b", 2.0),
+        ]
+        manifest = build_manifest(
+            command="run_all", config={}, seeds={}, spans=spans
+        )
+        trace = manifest_to_trace(manifest)
+        events = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert events["a"]["ts"] == 0.0
+        assert events["a1"]["ts"] == 0.0
+        assert events["a2"]["ts"] == 0.4 * 1e6  # after its sibling
+        assert events["b"]["ts"] == 1.0 * 1e6  # after the first root
+        assert (
+            trace["otherData"]["timestamp_source"]
+            == "synthesized sequential layout"
+        )
+
+
+class TestExportTrace:
+    def test_reads_manifest_writes_valid_json(self, tmp_path):
+        manifest = _sample_manifest()
+        manifest_path = write_manifest(manifest, tmp_path)
+        out = tmp_path / "nested" / "trace.json"
+        returned = export_trace(manifest_path, out)
+        with open(out) as handle:
+            written = json.load(handle)
+        assert written == returned
+        assert written["displayTimeUnit"] == "ms"
+        assert written["otherData"]["run_id"] == manifest["run_id"]
+        assert any(e["ph"] == "X" for e in written["traceEvents"])

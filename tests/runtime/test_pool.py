@@ -11,6 +11,10 @@ from repro.obs import (
     reset_tracing,
     span,
 )
+from repro.obs.resources import (
+    resource_sampling,
+    stop_resource_sampling,
+)
 from repro.runtime import parallel_map, resolve_jobs
 
 
@@ -118,3 +122,68 @@ class TestObservabilityTransport:
 
     def test_results_unchanged_by_instrumentation(self):
         assert parallel_map(_traced_task, [5, 6], jobs=2) == [25, 36]
+
+
+def _allocating_task(x):
+    """A task with a measurable RSS footprint (pool-picklable)."""
+    import numpy
+
+    block = numpy.ones((256, 1024), dtype=numpy.float64)  # 2 MB
+    with span("alloc", item=x):
+        total = float(block.sum())
+    return int(total) + x
+
+
+class TestResourceTransport:
+    """Worker resource gauges and span watermarks reach the parent."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        stop_resource_sampling()
+        reset_tracing()
+        get_registry().reset()
+        yield
+        stop_resource_sampling()
+        reset_tracing()
+        get_registry().reset()
+
+    def _peak_after_run(self, jobs):
+        with resource_sampling(interval=60.0):
+            results = parallel_map(_allocating_task, [1, 2, 3, 4], jobs=jobs)
+        assert results == [262144 + x for x in [1, 2, 3, 4]]
+        state = get_registry().snapshot()["gauges"]["process_peak_rss_bytes"]
+        drain_spans()
+        return state
+
+    def test_jobs_n_peak_merge_equals_serial_attribution(self):
+        """The pooled peak gauge reports a real high watermark, like serial.
+
+        Exact equality is impossible (different address spaces), but the
+        contract is structural: the merged ``max`` must be a plausible
+        process peak -- positive and at least the parent's own floor --
+        not a sum of worker peaks (which would be ~N times too large).
+        """
+        serial = self._peak_after_run(jobs=1)
+        get_registry().reset()
+        reset_tracing()
+        pooled = self._peak_after_run(jobs=2)
+        assert serial["max"] > 0 and pooled["max"] > 0
+        # Summing four worker peaks would put pooled far above 2x serial;
+        # merging by max keeps it within the same order of magnitude.
+        assert pooled["max"] < 2 * serial["max"]
+
+    def test_worker_spans_carry_peak_rss_watermarks(self):
+        with resource_sampling(interval=60.0):
+            parallel_map(_allocating_task, [1, 2], jobs=2)
+        documents = drain_spans()
+        assert len(documents) == 2
+        for document in documents:
+            assert document["attrs"]["peak_rss_bytes"] > 0
+            assert document["attrs"]["worker_pid"] != os.getpid()
+
+    def test_no_worker_sampling_when_parent_not_sampling(self):
+        parallel_map(_allocating_task, [1, 2], jobs=2)
+        gauges = get_registry().snapshot()["gauges"]
+        assert "process_peak_rss_bytes" not in gauges
+        for document in drain_spans():
+            assert "peak_rss_bytes" not in document["attrs"]

@@ -371,6 +371,22 @@ class TestObservability:
         assert state["sum"] >= 0
         assert "+inf" in state["buckets"]
 
+    def test_metrics_reports_dropped_spans_gauge(self, server):
+        get_registry().reset()
+        _, document = _get(server, "/metrics")
+        assert document["gauges"]["trace_dropped_spans"]["value"] == 0.0
+
+    def test_metrics_reports_resource_gauges_when_sampling(self, server):
+        from repro.obs.resources import resource_sampling
+
+        get_registry().reset()
+        with resource_sampling(interval=60.0):
+            _, document = _get(server, "/metrics")
+        gauges = document["gauges"]
+        assert gauges["process_rss_bytes"]["value"] > 0
+        assert gauges["process_peak_rss_bytes"]["value"] > 0
+        assert gauges["process_cpu_seconds"]["value"] >= 0
+
     def test_metrics_includes_itself_on_next_scrape(self, server):
         get_registry().reset()
         _get(server, "/metrics")

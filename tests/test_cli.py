@@ -49,6 +49,25 @@ class TestParser:
             build_parser().parse_args(["attack", "--scale", bad])
         assert excinfo.value.code == 2
 
+    def test_obs_export_trace_defaults(self):
+        args = build_parser().parse_args(["obs", "export-trace", "m.json"])
+        assert args.manifest == "m.json"
+        assert args.out == "trace.json"
+
+    def test_obs_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_bench_compare_defaults(self):
+        args = build_parser().parse_args(["bench", "compare"])
+        assert args.baseline == "benchmarks/baseline.json"
+        assert args.current is None
+        assert args.fail_on_regression is None
+
+    def test_cache_json_flag(self):
+        args = build_parser().parse_args(["cache", "stats", "--json"])
+        assert args.json is True
+
 
 class TestCommands:
     def test_generate_and_split(self, tmp_path, capsys):
@@ -316,3 +335,126 @@ class TestCommands:
         assert rc == 0
         assert "1" in capsys.readouterr().out
         assert not list(cache_dir.glob("*.npz"))
+
+    def test_cache_stats_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "feat"))
+        rc = main(["cache", "stats", "--json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["dir"] == str(tmp_path / "feat")
+        assert document["entries"] == 0
+        assert set(document["lifetime"]) >= {"hits", "misses", "puts"}
+
+    def test_obs_export_trace_from_experiments_manifest(
+        self, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "experiments",
+                "--scale",
+                "0.08",
+                "--only",
+                "figure4",
+                "--manifest-dir",
+                str(tmp_path / "runs"),
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        (manifest_path,) = (tmp_path / "runs").glob("*.json")
+        out = tmp_path / "trace.json"
+        rc = main(["obs", "export-trace", str(manifest_path), "-o", str(out)])
+        assert rc == 0
+        assert "perfetto" in capsys.readouterr().out
+        with open(out) as handle:
+            trace = json.load(handle)
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+
+    def test_obs_export_trace_missing_manifest(self, tmp_path, capsys):
+        rc = main(
+            [
+                "obs",
+                "export-trace",
+                str(tmp_path / "ghost.json"),
+                "-o",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        assert rc == 2
+        assert "ghost.json" in capsys.readouterr().err
+
+    def _write_bench(self, path, cases):
+        records = [
+            {
+                "suite": "benchmarks.test_x",
+                "case": case,
+                "wall_s": wall_s,
+                "throughput_per_s": 1.0 / wall_s,
+                "rounds": 1,
+                "recorded_utc": "2026-01-01T00:00:00Z",
+            }
+            for case, wall_s in cases
+        ]
+        path.write_text(json.dumps(records))
+        return path
+
+    def test_bench_compare_ok_exit_zero(self, tmp_path, capsys):
+        baseline = self._write_bench(tmp_path / "base.json", [("fit", 1.0)])
+        current = self._write_bench(tmp_path / "cur.json", [("fit", 1.1)])
+        rc = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(baseline),
+                "--current",
+                str(current),
+                "--fail-on-regression",
+                "50",
+            ]
+        )
+        assert rc == 0
+        assert "benchmark trajectory" in capsys.readouterr().out
+
+    def test_bench_compare_2x_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write_bench(tmp_path / "base.json", [("fit", 1.0)])
+        current = self._write_bench(tmp_path / "cur.json", [("fit", 2.0)])
+        out = tmp_path / "delta.txt"
+        rc = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(baseline),
+                "--current",
+                str(current),
+                "--fail-on-regression",
+                "50",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "REGRESSION" in captured.err
+        assert "REGRESSED" in out.read_text()
+
+    def test_bench_compare_missing_baseline(self, tmp_path, capsys):
+        current = self._write_bench(tmp_path / "cur.json", [("fit", 1.0)])
+        rc = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(tmp_path / "ghost.json"),
+                "--current",
+                str(current),
+            ]
+        )
+        assert rc == 2
