@@ -1,0 +1,67 @@
+"""Scaling curve of the bounded-RSS paper-scale scoring pass.
+
+Runs the sharded evaluator at increasing design sizes (up to the
+1M-cell class, 8000 v-pins, ~24M legal pairs) and appends one record
+per size to ``BENCH_<date>.json`` carrying the v-pin count, wall
+seconds, and the process peak RSS at that point.  Sizes run in
+ascending order, so the *increments* between consecutive peak-RSS
+readings expose any O(pairs) memory growth: pair count grows ~16x
+from the 250k-cell point to the 1M-cell point while the streaming
+evaluator's footprint must stay within one chunk + tracker state.
+"""
+
+import time
+
+import pytest
+
+from repro.attack.config import AttackConfig
+from repro.attack.framework import train_attack
+from repro.attack.scale import evaluate_attack_scaled
+from repro.obs.resources import resources_snapshot, resource_sampling
+from repro.synth.paper_scale import PaperScaleConfig, build_paper_scale_view
+
+from .conftest import append_records, bench_json_path, make_record
+
+SCALING_CELLS = (100_000, 250_000, 500_000, 1_000_000)
+
+#: Streaming bound check: peak RSS at the largest size must stay under
+#: this multiple of the smallest size's peak (pair count grows ~100x).
+MAX_PEAK_GROWTH = 3.0
+
+
+@pytest.fixture(scope="module")
+def trained_ml9():
+    config = AttackConfig(name="ML-9", n_features=9)
+    train_view = build_paper_scale_view(
+        PaperScaleConfig(n_cells=100_000, seed=11)
+    )
+    return train_attack(config, [train_view], seed=0)
+
+
+def test_scaling_curve(trained_ml9):
+    records = []
+    peaks = []
+    with resource_sampling():
+        for n_cells in SCALING_CELLS:
+            view = build_paper_scale_view(PaperScaleConfig(n_cells=n_cells))
+            start = time.perf_counter()
+            result = evaluate_attack_scaled(trained_ml9, view, k=16)
+            wall = time.perf_counter() - start
+            peak = float(resources_snapshot()["peak_rss_bytes"])
+            peaks.append(peak)
+            record = make_record(
+                suite="benchmarks.test_paper_scale",
+                case=f"scaling_vpins_{len(view)}",
+                wall_s=wall,
+            )
+            record["n_vpins"] = len(view)
+            record["n_pairs_scored"] = result.n_pairs_evaluated
+            record["peak_rss_bytes"] = peak
+            records.append(record)
+            assert result.n_pairs_evaluated > 0
+    append_records(bench_json_path(), records)
+    # ~100x more pairs must not mean ~100x more memory.
+    assert peaks[-1] <= MAX_PEAK_GROWTH * peaks[0], (
+        f"peak RSS grew {peaks[-1] / peaks[0]:.1f}x across the curve "
+        f"({peaks[0] / 1e6:.0f} MB -> {peaks[-1] / 1e6:.0f} MB)"
+    )

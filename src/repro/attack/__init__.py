@@ -51,6 +51,7 @@ from .recovery import (
     score_assignment,
 )
 from .result import AttackResult, AttackSummary, summarize
+from .scale import evaluate_attack_scaled, shard_rows
 from .topk import TopKTracker, evaluate_attack_topk
 from .two_level import (
     TrainedLevel2,
@@ -91,6 +92,7 @@ __all__ = [
     "connected_component_sizes",
     "distance_weighted_matching_attack",
     "evaluate_attack",
+    "evaluate_attack_scaled",
     "evaluate_attack_topk",
     "global_matching_attack",
     "loo_folds",
@@ -104,6 +106,7 @@ __all__ = [
     "run_two_level_fold",
     "run_validated_pa",
     "score_assignment",
+    "shard_rows",
     "summarize",
     "train_attack",
     "train_two_level",

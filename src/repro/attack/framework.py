@@ -26,6 +26,7 @@ from ..obs.logging import get_logger
 from ..obs.metrics import counter
 from ..obs.trace import span
 from ..runtime import (
+    MAX_CHUNKED_BYTES,
     FeatureCache,
     code_fingerprint,
     get_default_cache,
@@ -34,13 +35,15 @@ from ..runtime import (
     spawn_seeds,
     view_content_hash,
 )
-from ..splitmfg.pair_features import compute_pair_features, legal_pair_mask
+from ..splitmfg.featurize_engine import PairFeaturizer
+from ..splitmfg.pair_features import legal_pair_mask
 from ..splitmfg.sampling import (
     COORD_TOL,
     NeighborhoodIndex,
     TrainingSet,
     build_training_set,
     iter_all_pairs,
+    max_chunk_rows,
     neighborhood_fraction,
     neighborhood_radius,
 )
@@ -222,8 +225,19 @@ def _candidate_chunks(
     trained: TrainedAttack,
     view: SplitView,
     chunk_size: int,
+    filter_legal: bool = True,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Candidate pair chunks per the configuration's testing rule."""
+    """Candidate pair chunks per the configuration's testing rule.
+
+    ``filter_legal=False`` skips the all-pairs legality mask so a caller
+    can fold it into featurization instead
+    (:meth:`~repro.splitmfg.featurize_engine.PairFeaturizer
+    .legal_rows_into`); neighborhood chunks come from the KD-tree
+    pre-filtered either way.  Masks preserve pair order, so the union of
+    the surviving pairs is identical for both settings.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     if trained.neighborhood is not None:
         radius = neighborhood_radius(view, trained.neighborhood)
         i, j = NeighborhoodIndex(view, radius).candidate_pairs()
@@ -231,8 +245,11 @@ def _candidate_chunks(
             yield i[start : start + chunk_size], j[start : start + chunk_size]
     else:
         for i, j in iter_all_pairs(len(view), chunk_size):
-            legal = legal_pair_mask(view, i, j)
-            yield i[legal], j[legal]
+            if filter_legal:
+                legal = legal_pair_mask(view, i, j)
+                yield i[legal], j[legal]
+            else:
+                yield i, j
 
 
 def _candidate_key(trained: TrainedAttack, view: SplitView) -> str:
@@ -268,7 +285,12 @@ def evaluate_attack(
     When a feature cache is available (explicitly or via the process
     default), the featurized candidate matrix is restored from disk on a
     hit and stored after a miss; probabilities are identical either way
-    because every tree scores rows independently.
+    because every tree scores rows independently.  Candidate matrices
+    are stored *chunk-addressed* (one ``.npz`` per scored chunk plus an
+    index entry written last), so neither the store nor the replay path
+    ever materializes the full matrix: peak RSS is one chunk's features
+    plus the accumulated ``(i, j, prob)`` result arrays, whatever the
+    design size.
     """
     start = time.perf_counter()
     if cache is None:
@@ -283,41 +305,91 @@ def evaluate_attack(
         out_i: list[np.ndarray] = []
         out_j: list[np.ndarray] = []
         out_p: list[np.ndarray] = []
-        out_X: list[np.ndarray] = []
         n_evaluated = 0
-        if stored is not None:
-            pair_i = stored["i"]
-            pair_j = stored["j"]
-            X_all = stored["X"]
+        replayed = False
+        if stored is not None and ("X" in stored or "n_chunks" in stored):
             with span("score", candidates="cache"):
-                for begin in range(0, len(pair_i), chunk_size):
-                    out_p.append(
-                        trained.model.predict_proba(
-                            X_all[begin : begin + chunk_size]
+                if "X" in stored:  # legacy single-entry format
+                    pair_i, pair_j = stored["i"], stored["j"]
+                    X_all = stored["X"]
+                    for begin in range(0, len(pair_i), chunk_size):
+                        out_p.append(
+                            trained.model.predict_proba(
+                                X_all[begin : begin + chunk_size]
+                            )
                         )
-                    )
-            prob = np.concatenate(out_p) if out_p else np.zeros(0)
-            n_evaluated = len(pair_i)
-        else:
+                    prob = np.concatenate(out_p) if out_p else np.zeros(0)
+                    n_evaluated = len(pair_i)
+                    replayed = True
+                else:
+                    replayed = True
+                    for index in range(int(stored["n_chunks"])):
+                        entry = cache.get_chunk(key, index)
+                        if entry is None:  # family incomplete: re-featurize
+                            out_i, out_j, out_p = [], [], []
+                            replayed = False
+                            break
+                        out_i.append(entry["i"])
+                        out_j.append(entry["j"])
+                        out_p.append(trained.model.predict_proba(entry["X"]))
+                    if replayed:
+                        if out_i:
+                            pair_i = np.concatenate(out_i)
+                            pair_j = np.concatenate(out_j)
+                            prob = np.concatenate(out_p)
+                        else:
+                            pair_i = np.zeros(0, dtype=int)
+                            pair_j = np.zeros(0, dtype=int)
+                            prob = np.zeros(0)
+                        n_evaluated = len(pair_i)
+        if not replayed:
             arr = view.arrays()
-            with span("score", candidates="featurized"):
-                for i, j in _candidate_chunks(trained, view, chunk_size):
+            featurizer = PairFeaturizer(view, trained.config.features)
+            buffer = featurizer.out_buffer(
+                max_chunk_rows(len(view), chunk_size)
+            )
+            all_pairs = trained.neighborhood is None
+            caching = cache is not None and key is not None
+            stored_bytes = 0
+            n_chunks = 0
+            out_i, out_j, out_p = [], [], []
+            with span(
+                "score", candidates="featurized", engine=featurizer.engine
+            ):
+                for i, j in _candidate_chunks(
+                    trained, view, chunk_size, filter_legal=not all_pairs
+                ):
                     if trained.limit_axis == "y":
                         aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= COORD_TOL
                         i, j = i[aligned], j[aligned]
                     elif trained.limit_axis == "x":
                         aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= COORD_TOL
                         i, j = i[aligned], j[aligned]
+                    if all_pairs:
+                        # Legality folds into the featurization pass;
+                        # masks commute, so (i, j, X) match the legacy
+                        # legality-first order exactly.
+                        i, j, X = featurizer.legal_rows_into(i, j, buffer)
+                    else:
+                        X = featurizer.rows_into(i, j, buffer)
                     if len(i) == 0:
                         continue
-                    X = compute_pair_features(view, i, j, trained.config.features)
                     p = trained.model.predict_proba(X)
                     n_evaluated += len(i)
                     out_i.append(i)
                     out_j.append(j)
                     out_p.append(p)
-                    if key is not None:
-                        out_X.append(X)
+                    if caching:
+                        chunk_bytes = i.nbytes + j.nbytes + X.nbytes
+                        if stored_bytes + chunk_bytes > MAX_CHUNKED_BYTES:
+                            caching = False  # no index: family discarded
+                        else:
+                            caching = cache.put_chunk(
+                                key, n_chunks, {"i": i, "j": j, "X": X}
+                            )
+                            if caching:
+                                stored_bytes += chunk_bytes
+                                n_chunks += 1
             counter("pairs_featurized").inc(n_evaluated)
             if out_i:
                 pair_i = np.concatenate(out_i)
@@ -327,20 +399,8 @@ def evaluate_attack(
                 pair_i = np.zeros(0, dtype=int)
                 pair_j = np.zeros(0, dtype=int)
                 prob = np.zeros(0)
-            if cache is not None and key is not None:
-                n_features = len(trained.config.features)
-                cache.put(
-                    key,
-                    {
-                        "i": pair_i,
-                        "j": pair_j,
-                        "X": (
-                            np.vstack(out_X)
-                            if out_X
-                            else np.zeros((0, n_features))
-                        ),
-                    },
-                )
+            if caching:
+                cache.put(key, {"n_chunks": np.array(n_chunks)})
         counter("candidates_scored").inc(n_evaluated)
         outer.set(n_pairs=n_evaluated)
         logger.debug(

@@ -19,7 +19,8 @@ import time
 
 import numpy as np
 
-from ..splitmfg.pair_features import compute_pair_features
+from ..splitmfg.featurize_engine import PairFeaturizer
+from ..splitmfg.sampling import max_chunk_rows
 from ..splitmfg.split import SplitView
 from .framework import TrainedAttack, _candidate_chunks
 from .result import AttackResult
@@ -66,6 +67,33 @@ class TopKTracker:
         self._merge_side(i, j, p)
         self._merge_side(j, i, p)
 
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the raw ``(n, k)`` partner/probability arrays.
+
+        O(n*k) regardless of how many pairs streamed through -- the
+        cheap thing to ship back from a worker shard.
+        """
+        return self._partner.copy(), self._prob.copy()
+
+    def merge_state(self, partner: np.ndarray, prob: np.ndarray) -> None:
+        """Merge another tracker's :meth:`state` arrays into this one.
+
+        Merging is order-sensitive only for exact probability ties, so a
+        parent that merges shards in a fixed shard order gets the same
+        result for any ``--jobs`` setting.
+        """
+        if partner.shape != (self.n, self.k) or prob.shape != (self.n, self.k):
+            raise ValueError(
+                f"state shape mismatch: expected {(self.n, self.k)}, "
+                f"got {partner.shape} / {prob.shape}"
+            )
+        ids = np.repeat(np.arange(self.n), self.k)
+        partners = np.asarray(partner).ravel()
+        probs = np.asarray(prob).ravel()
+        valid = partners >= 0
+        if valid.any():
+            self._merge_side(ids[valid], partners[valid], probs[valid])
+
     def harvest(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Deduplicated surviving pairs as ``(i, j, prob)`` with i < j."""
         rows = np.repeat(np.arange(self.n), self.k)
@@ -95,17 +123,25 @@ def evaluate_attack_topk(
     start = time.perf_counter()
     arr = view.arrays()
     tracker = TopKTracker(len(view), k)
+    featurizer = PairFeaturizer(view, trained.config.features)
+    buffer = featurizer.out_buffer(max_chunk_rows(len(view), chunk_size))
+    all_pairs = trained.neighborhood is None
     n_evaluated = 0
-    for i, j in _candidate_chunks(trained, view, chunk_size):
+    for i, j in _candidate_chunks(
+        trained, view, chunk_size, filter_legal=not all_pairs
+    ):
         if trained.limit_axis == "y":
             aligned = np.abs(arr["vy"][i] - arr["vy"][j]) <= 1e-6
             i, j = i[aligned], j[aligned]
         elif trained.limit_axis == "x":
             aligned = np.abs(arr["vx"][i] - arr["vx"][j]) <= 1e-6
             i, j = i[aligned], j[aligned]
+        if all_pairs:
+            i, j, X = featurizer.legal_rows_into(i, j, buffer)
+        else:
+            X = featurizer.rows_into(i, j, buffer)
         if len(i) == 0:
             continue
-        X = compute_pair_features(view, i, j, trained.config.features)
         p = trained.model.predict_proba(X)
         tracker.update(i, j, p)
         n_evaluated += len(i)

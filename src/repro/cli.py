@@ -20,7 +20,12 @@ Commands:
   Perfetto / ``chrome://tracing``;
 * ``bench``    -- benchmark trajectory tooling: ``compare`` joins two
   ``BENCH_*.json`` files and gates wall-time regressions
-  (``--fail-on-regression PCT`` exits nonzero on a slowdown).
+  (``--fail-on-regression PCT`` exits nonzero on a slowdown);
+* ``paper-scale`` -- synthesize a paper-sized split view (1M-cell class
+  by default) and run the full no-neighborhood scoring pass through the
+  sharded bounded-RSS evaluator, writing a run manifest whose
+  ``resources`` section proves the peak-RSS budget held
+  (``--budget-mb`` exits 3 when exceeded).
 
 ``attack``, ``experiments``, and its alias ``run-all`` accept ``--jobs N``
 (process-pool parallelism over folds/experiments; bit-identical to
@@ -517,6 +522,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_paper_scale(args: argparse.Namespace) -> int:
+    import time
+
+    from .attack.config import AttackConfig
+    from .attack.framework import train_attack
+    from .attack.scale import evaluate_attack_scaled
+    from .obs.manifest import build_manifest, write_manifest
+    from .obs.metrics import get_registry
+    from .obs.resources import (
+        resources_snapshot,
+        start_resource_sampling,
+        stop_resource_sampling,
+    )
+    from .obs.trace import drain_spans
+    from .synth.paper_scale import PaperScaleConfig, build_paper_scale_view
+
+    start_resource_sampling()
+    drain_spans()  # the manifest should only carry this run's spans
+    t0 = time.perf_counter()
+    config = AttackConfig(name=f"ML-{args.features}", n_features=args.features)
+    test_config = PaperScaleConfig(
+        n_cells=args.cells, split_layer=args.layer, seed=args.seed
+    )
+    # A separate (smaller) design trains the classifier; the paper's
+    # LOO protocol never trains on the scored design.
+    train_view = build_paper_scale_view(
+        PaperScaleConfig(
+            n_cells=args.train_cells,
+            split_layer=args.layer,
+            seed=args.seed + 1,
+        )
+    )
+    view = build_paper_scale_view(test_config)
+    trained = train_attack(config, [train_view], seed=args.seed)
+    result = evaluate_attack_scaled(
+        trained,
+        view,
+        k=args.k,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+        n_shards=args.shards,
+        engine=args.engine,
+    )
+    wall = time.perf_counter() - t0
+    resources = resources_snapshot()
+    stop_resource_sampling()
+    peak_mb = resources["peak_rss_bytes"] / 1e6
+    if not args.no_manifest:
+        manifest = build_manifest(
+            command="paper-scale",
+            config={
+                "cells": args.cells,
+                "train_cells": args.train_cells,
+                "layer": args.layer,
+                "features": args.features,
+                "k": args.k,
+                "chunk_size": args.chunk_size,
+                "jobs": args.jobs,
+                "shards": args.shards,
+                "engine": args.engine,
+                "budget_mb": args.budget_mb,
+            },
+            seeds={"root": args.seed},
+            spans=drain_spans(),
+            metrics=get_registry().snapshot(),
+            resources=resources,
+        )
+        path = write_manifest(manifest, Path(args.manifest_dir))
+        print(f"run manifest -> {path}", file=sys.stderr)
+    print(
+        f"{view.design_name}: {len(view)} v-pins, "
+        f"{result.n_pairs_evaluated} legal pairs scored in {wall:.1f}s "
+        f"({result.n_pairs_evaluated / max(wall, 1e-9):,.0f} pairs/s), "
+        f"peak RSS {peak_mb:.0f} MB, "
+        f"acc@0.5 {result.accuracy_at_threshold(0.5):.3f}"
+    )
+    if args.budget_mb is not None and peak_mb > args.budget_mb:
+        print(
+            f"RSS BUDGET EXCEEDED: peak {peak_mb:.0f} MB > "
+            f"budget {args.budget_mb:g} MB",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -689,6 +780,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the delta table to this file (CI artifact)",
     )
     bench_compare.set_defaults(func=_cmd_bench)
+
+    paper_scale = sub.add_parser(
+        "paper-scale",
+        help="bounded-RSS scoring pass at paper design sizes",
+    )
+    paper_scale.add_argument(
+        "--cells", type=int, default=1_000_000,
+        help="cell count of the synthesized scored design",
+    )
+    paper_scale.add_argument(
+        "--train-cells", type=int, default=100_000,
+        help="cell count of the (separate) training design",
+    )
+    paper_scale.add_argument(
+        "--layer", type=int, default=8, choices=(4, 6, 8),
+        help="split via layer (sets v-pin density)",
+    )
+    paper_scale.add_argument("--seed", type=int, default=0)
+    paper_scale.add_argument(
+        "--features", type=int, default=9, choices=(7, 9, 11),
+    )
+    paper_scale.add_argument(
+        "--k", type=int, default=64,
+        help="top-K candidates kept per v-pin",
+    )
+    paper_scale.add_argument("--chunk-size", type=int, default=400_000)
+    paper_scale.add_argument("--jobs", type=int, default=1)
+    paper_scale.add_argument(
+        "--shards", type=int, default=None,
+        help="row shards (default: jobs); fixes the result regardless of --jobs",
+    )
+    paper_scale.add_argument(
+        "--engine", default=None, choices=("c", "numpy", "reference"),
+        help="featurization engine (default: $REPRO_FEATURIZE_ENGINE or auto)",
+    )
+    paper_scale.add_argument(
+        "--budget-mb", type=float, default=None,
+        help="exit 3 if peak RSS exceeds this many MB",
+    )
+    paper_scale.add_argument("--manifest-dir", default="results/runs")
+    paper_scale.add_argument("--no-manifest", action="store_true")
+    paper_scale.set_defaults(func=_cmd_paper_scale)
 
     train_model = sub.add_parser(
         "train-model", help="train a classifier and register it for serving"

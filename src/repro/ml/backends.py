@@ -29,7 +29,7 @@ from typing import Any, Callable, ClassVar
 
 import numpy as np
 
-from .bagging import Bagging
+from .bagging import Bagging, RandomTreeFactory
 from .forest import RandomForest
 from .knn import KNNClassifier
 from .logistic import LogisticRegression
@@ -224,8 +224,8 @@ class BaggingBackend(_TreeEnsembleBackend):
     def build(self, seed: int | np.random.Generator = 0) -> Bagging:
         if self.base == "randomtree":
             return Bagging(
-                base_factory=lambda rng: RandomTree(
-                    min_samples_leaf=1, seed=rng, engine=self.engine
+                base_factory=RandomTreeFactory(
+                    min_samples_leaf=1, engine=self.engine
                 ),
                 n_estimators=self.n_estimators,
                 seed=seed,

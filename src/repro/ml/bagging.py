@@ -16,7 +16,44 @@ from typing import Callable
 
 import numpy as np
 
-from .tree import DecisionTreeBase, REPTree
+from .tree import DEFAULT_MAX_DEPTH, DecisionTreeBase, RandomTree, REPTree
+
+
+class REPTreeFactory:
+    """Picklable default base factory.
+
+    A closure here would make every fitted :class:`Bagging` unpicklable,
+    which breaks shipping trained models to pool workers (the paper-scale
+    sharded evaluator does exactly that).
+    """
+
+    def __init__(self, engine: str | None = None) -> None:
+        self.engine = engine
+
+    def __call__(self, rng: np.random.Generator) -> "REPTree":
+        return REPTree(seed=rng, engine=self.engine)
+
+
+class RandomTreeFactory:
+    """Picklable :class:`RandomTree` base factory (see above)."""
+
+    def __init__(
+        self,
+        max_depth: int | None = DEFAULT_MAX_DEPTH,
+        min_samples_leaf: int = 1,
+        engine: str | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.engine = engine
+
+    def __call__(self, rng: np.random.Generator) -> "RandomTree":
+        return RandomTree(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            seed=rng,
+            engine=self.engine,
+        )
 
 
 class Bagging:
@@ -42,9 +79,7 @@ class Bagging:
         # ``engine`` selects the fit engine (see repro.ml.fit_engine) for
         # the default REPTree factory; a caller-supplied base_factory is
         # responsible for threading it through itself.
-        self.base_factory = base_factory or (
-            lambda rng: REPTree(seed=rng, engine=engine)
-        )
+        self.base_factory = base_factory or REPTreeFactory(engine)
         self.n_estimators = n_estimators
         self.fit_engine = engine
         self.rng = np.random.default_rng(seed)

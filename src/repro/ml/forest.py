@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .bagging import Bagging
-from .tree import DEFAULT_MAX_DEPTH, RandomTree
+from .bagging import Bagging, RandomTreeFactory
+from .tree import DEFAULT_MAX_DEPTH
 
 
 class RandomForest(Bagging):
@@ -25,10 +25,9 @@ class RandomForest(Bagging):
         engine: str | None = None,
     ) -> None:
         super().__init__(
-            base_factory=lambda rng: RandomTree(
+            base_factory=RandomTreeFactory(
                 max_depth=max_depth,
                 min_samples_leaf=min_samples_leaf,
-                seed=rng,
                 engine=engine,
             ),
             n_estimators=n_estimators,

@@ -58,6 +58,21 @@ COUNT_BUCKETS = (
     1024.0,
 )
 
+#: Buckets for chunk-row histograms (``featurize_rows``): candidate
+#: chunks range from a handful of neighborhood pairs to the
+#: ~500k-pair all-pairs chunks of a paper-scale scoring pass.
+ROW_COUNT_BUCKETS = (
+    0.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+)
+
 #: Buckets for sub-request waits (micro-batch coalescing, queueing):
 #: the serving batch window is single-digit milliseconds, so the
 #: resolution is concentrated there.

@@ -18,6 +18,7 @@ attack pipeline runs, as opposed to *what* it computes:
 """
 
 from .cache import (
+    MAX_CHUNKED_BYTES,
     FeatureCache,
     code_fingerprint,
     default_cache_dir,
@@ -29,17 +30,22 @@ from .cache import (
 )
 from .pool import parallel_map, resolve_jobs
 from .seeding import spawn_seeds, spawn_seedsequences
+from .shared import SharedArray, release_arrays, share_arrays
 
 __all__ = [
     "FeatureCache",
+    "MAX_CHUNKED_BYTES",
+    "SharedArray",
     "code_fingerprint",
     "default_cache_dir",
     "flush_cache_stats",
     "get_default_cache",
     "hash_key",
     "parallel_map",
+    "release_arrays",
     "resolve_jobs",
     "set_default_cache",
+    "share_arrays",
     "spawn_seeds",
     "spawn_seedsequences",
     "view_content_hash",

@@ -64,6 +64,12 @@ CACHE_COUNTERS = (
 #: only guards pathological blowups).
 MAX_ENTRY_BYTES = 256 * 1024 * 1024
 
+#: Total byte budget of one chunk-addressed entry family (index entry
+#: plus all of its chunk entries).  Chunked storage exists so a
+#: paper-scale candidate matrix never has to materialize in one piece
+#: -- on disk or in RAM -- but the disk footprint still needs a lid.
+MAX_CHUNKED_BYTES = 8 * MAX_ENTRY_BYTES
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-splitmfg/features``."""
@@ -88,10 +94,18 @@ def code_fingerprint() -> str:
     global _fingerprint
     if _fingerprint is None:
         from ..ml import backends, fit_engine, mlp, tree
-        from ..splitmfg import pair_features, sampling
+        from ..splitmfg import featurize_engine, pair_features, sampling
 
         digest = hashlib.sha256()
-        for module in (pair_features, sampling, tree, fit_engine, backends, mlp):
+        for module in (
+            pair_features,
+            featurize_engine,
+            sampling,
+            tree,
+            fit_engine,
+            backends,
+            mlp,
+        ):
             digest.update(inspect.getsource(module).encode())
         _fingerprint = digest.hexdigest()[:16]
     return _fingerprint
@@ -231,6 +245,28 @@ class FeatureCache:
         self._count("puts")
         self._count("put_bytes", total)
         return True
+
+    def chunk_key(self, key: str, index: int) -> str:
+        """Entry key of chunk ``index`` of the chunk-addressed family ``key``.
+
+        Chunk-addressed storage splits one logical entry (a paper-scale
+        candidate matrix) into per-chunk ``.npz`` files plus a small
+        index entry under the bare ``key`` naming how many chunks exist.
+        Writers store every chunk first and the index last (a crashed
+        or capped write leaves orphan chunks, never a dangling index);
+        readers treat a missing chunk as a miss of the whole family.
+        """
+        return f"{key}-chunk{index:06d}"
+
+    def put_chunk(
+        self, key: str, index: int, arrays: dict[str, np.ndarray]
+    ) -> bool:
+        """Store one chunk of a chunk-addressed entry family."""
+        return self.put(self.chunk_key(key, index), arrays)
+
+    def get_chunk(self, key: str, index: int) -> dict[str, np.ndarray] | None:
+        """Load one chunk of a chunk-addressed entry family."""
+        return self.get(self.chunk_key(key, index))
 
     def entries(self) -> list[Path]:
         """All entry files currently in the cache directory."""

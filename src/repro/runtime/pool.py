@@ -18,6 +18,12 @@ or on a worker.  Worker-recorded root spans are stamped with a
 out on its own lane), and worker resource gauges -- peak RSS above
 all -- merge into the parent by element-wise max, so ``--jobs N``
 resource accounting matches what serial attribution would report.
+
+Large read-only NumPy inputs should ride in a :class:`~repro.runtime
+.shared.SharedArray` (re-exported here): it pickles as a segment *name*,
+so each worker attaches to the one shared block instead of receiving a
+private copy, and on the serial fast path the callee gets the original
+object untouched.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..obs.resources import (
     update_resource_gauges,
 )
 from ..obs.trace import adopt_spans, drain_spans, reset_tracing
+from .shared import SharedArray, release_arrays, share_arrays  # noqa: F401
 
 T = TypeVar("T")
 R = TypeVar("R")

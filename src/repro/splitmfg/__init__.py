@@ -7,6 +7,12 @@ from .challenge import (
     oracle_to_dict,
     save_challenge,
 )
+from .featurize_engine import (
+    PairFeaturizer,
+    active_engine as featurize_active_engine,
+    has_ckernel as featurize_has_ckernel,
+    resolve_engine as resolve_featurize_engine,
+)
 from .pair_features import (
     FEATURE_SETS,
     FEATURES_7,
@@ -23,6 +29,7 @@ from .sampling import (
     TrainingSet,
     build_training_set,
     iter_all_pairs,
+    max_chunk_rows,
     neighborhood_fraction,
     neighborhood_negative_pairs,
     neighborhood_radius,
@@ -46,6 +53,7 @@ __all__ = [
     "FEATURES_9",
     "FEATURE_SETS",
     "NeighborhoodIndex",
+    "PairFeaturizer",
     "SplitStatistics",
     "SplitView",
     "TrainingSet",
@@ -57,11 +65,14 @@ __all__ = [
     "compute_pair_features",
     "compute_statistics",
     "describe",
+    "featurize_active_engine",
+    "featurize_has_ckernel",
     "iter_all_pairs",
     "legal_pair_mask",
     "load_challenge",
     "make_split_view",
     "manhattan_vpin",
+    "max_chunk_rows",
     "neighborhood_fraction",
     "neighborhood_negative_pairs",
     "neighborhood_radius",
@@ -69,6 +80,7 @@ __all__ = [
     "placement_congestion",
     "positive_pairs",
     "random_negative_pairs",
+    "resolve_featurize_engine",
     "routing_congestion",
     "save_challenge",
     "split_design",

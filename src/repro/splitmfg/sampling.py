@@ -13,7 +13,8 @@ from typing import Iterator
 import numpy as np
 from scipy.spatial import cKDTree
 
-from .pair_features import compute_pair_features, legal_pair_mask
+from .featurize_engine import PairFeaturizer
+from .pair_features import legal_pair_mask
 from .split import SplitView
 
 #: Tolerance for "same coordinate" checks (router snaps to track grids, so
@@ -285,8 +286,22 @@ def neighborhood_negative_pairs(
     return np.array(out_i, dtype=int), np.array(out_j, dtype=int)
 
 
+def max_chunk_rows(n: int, chunk_size: int) -> int:
+    """Upper bound on the pairs one :func:`iter_all_pairs` chunk holds.
+
+    Chunks are cut at whole-row boundaries, so the row that tips a chunk
+    over ``chunk_size`` may overshoot by up to its own length (at most
+    ``n - 1`` pairs, of which one was already counted).  Callers size
+    preallocated featurization buffers with this.
+    """
+    return chunk_size + max(n - 2, 0)
+
+
 def iter_all_pairs(
-    n: int, chunk_size: int = 500_000
+    n: int,
+    chunk_size: int = 500_000,
+    row_start: int = 0,
+    row_stop: int | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield all unordered index pairs of ``range(n)`` in bounded chunks.
 
@@ -295,18 +310,29 @@ def iter_all_pairs(
     brings a chunk to ``chunk_size`` pairs -- the same boundaries the
     seed's per-row accumulation loop produced, now computed arithmetically
     from the triangular cumulative counts.
+
+    ``row_start``/``row_stop`` restrict iteration to triangle rows
+    ``row_start <= r < row_stop`` (``None`` = all rows) so independent
+    workers can each enumerate one shard of the pair space; chunk
+    boundaries within a shard follow the same greedy rule.
     """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if row_start < 0:
+        raise ValueError(f"row_start must be >= 0, got {row_start}")
     if n < 2:
         return
+    stop = n - 1 if row_stop is None else min(row_stop, n - 1)
     counts = np.arange(n - 1, 0, -1, dtype=np.int64)  # row r has n-1-r pairs
     ends = np.cumsum(counts)
-    row = 0
-    base = 0
-    while row < n - 1:
+    row = min(row_start, stop)
+    base = int(ends[row - 1]) if row > 0 else 0
+    while row < stop:
         # First row whose cumulative pair count reaches base + chunk_size
         # (clamped: the tail may fall short of a full chunk).
         cut = min(
-            int(np.searchsorted(ends, base + chunk_size, side="left")), n - 2
+            int(np.searchsorted(ends, base + chunk_size, side="left")),
+            stop - 1,
         )
         rows = np.arange(row, cut + 1, dtype=np.int64)
         row_counts = counts[rows]
@@ -382,10 +408,9 @@ def build_training_set(
                 x_aligned_only=x_aligned_only,
                 allowed=mask,
             )
-        pos_X = compute_pair_features(view, pos_i, pos_j, features)
-        neg_X = compute_pair_features(view, neg_i, neg_j, features)
-        blocks_X.append(pos_X)
-        blocks_X.append(neg_X)
+        featurizer = PairFeaturizer(view, features)
+        blocks_X.append(featurizer.rows(pos_i, pos_j))
+        blocks_X.append(featurizer.rows(neg_i, neg_j))
         blocks_y.append(np.ones(len(pos_i)))
         blocks_y.append(np.zeros(len(neg_i)))
     if not blocks_X:

@@ -1,0 +1,141 @@
+"""Direct v-pin synthesis at paper scale (Section V design sizes).
+
+The bookshelf pipeline (:mod:`repro.synth.benchmarks`) builds a full
+placed-and-routed design before splitting it, which is the right
+fidelity for the accuracy experiments but far too slow to exercise the
+featurization path at the paper's largest sizes (~1M cells).  This
+module synthesizes the *split view itself*: v-pins with the statistics
+the paper reports -- density per cell falling steeply with the split
+layer (Table I: most nets route low, few cross via8) -- and exact
+ground-truth matches, without ever materializing a netlist.
+
+That is all the scoring path consumes (``view.arrays()`` columns plus
+``matches``), so a 1M-cell-class run measures exactly what the paper's
+Fig. 4/5 runs measure: candidate enumeration, featurization, and
+classification at scale.
+
+Geometry: each broken net contributes one driver-side v-pin
+(``out_area > 0``) and one load-side partner placed an
+exponentially-distributed Manhattan offset away (most fragments are
+short; a heavy tail crosses the die), so true matches are always legal
+pairs and roughly a quarter of random pairs are illegal -- the same
+shape the bookshelf splitter produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..layout.geometry import Point
+from ..splitmfg.split import SplitView, VPin
+
+# Fraction of cells whose net crosses the split layer, by via layer.
+# Follows the paper's Table I trend: v-pin count drops ~6x from via4
+# to via6 and again to via8.
+VPIN_DENSITY_PER_CELL = {4: 0.215, 6: 0.036, 8: 0.008}
+
+
+@dataclass(frozen=True)
+class PaperScaleConfig:
+    """One paper-scale synthesis run (1M-cell class by default)."""
+
+    name: str = "paper-scale"
+    n_cells: int = 1_000_000
+    split_layer: int = 8
+    seed: int = 0
+    cell_area_um2: float = 2.0
+    utilization: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 2:
+            raise ValueError(f"n_cells must be >= 2, got {self.n_cells}")
+        if self.split_layer not in VPIN_DENSITY_PER_CELL:
+            raise ValueError(
+                f"split_layer must be one of "
+                f"{sorted(VPIN_DENSITY_PER_CELL)}, got {self.split_layer}"
+            )
+
+    @property
+    def die_side_um(self) -> float:
+        area = self.n_cells * self.cell_area_um2 / self.utilization
+        return float(np.sqrt(area))
+
+
+def n_vpins(config: PaperScaleConfig) -> int:
+    """V-pin count for ``config`` (always even: one driver per load)."""
+    count = int(round(config.n_cells * VPIN_DENSITY_PER_CELL[config.split_layer]))
+    count = max(2, count)
+    return count - (count % 2)
+
+
+def build_paper_scale_view(config: PaperScaleConfig) -> SplitView:
+    """Synthesize the split view for ``config`` with known matches."""
+    rng = np.random.default_rng(config.seed)
+    n = n_vpins(config)
+    m = n // 2
+    side = config.die_side_um
+    half_perimeter = 2.0 * side
+
+    # Driver-side pin locations: uniform over the die.
+    dx = rng.uniform(0.0, side, m)
+    dy = rng.uniform(0.0, side, m)
+    # Load partner: exponential Manhattan offset (~3% of half-perimeter
+    # scale), random split between the axes, reflected into the die.
+    offset = rng.exponential(0.03 * half_perimeter, m)
+    frac = rng.uniform(0.0, 1.0, m)
+    sign_x = rng.choice((-1.0, 1.0), m)
+    sign_y = rng.choice((-1.0, 1.0), m)
+    lx = np.abs(dx + sign_x * offset * frac)
+    ly = np.abs(dy + sign_y * offset * (1.0 - frac))
+    lx = side - np.abs(side - lx)
+    ly = side - np.abs(side - ly)
+
+    vx = np.concatenate([dx, lx])
+    vy = np.concatenate([dy, ly])
+    # Cell pins sit near their v-pin; fragment wirelength follows the
+    # pin offset plus an exponential tail of local routing.
+    px = np.clip(vx + rng.normal(0.0, 4.0, n), 0.0, side)
+    py = np.clip(vy + rng.normal(0.0, 4.0, n), 0.0, side)
+    w = np.abs(px - vx) + np.abs(py - vy) + rng.exponential(12.0, n)
+
+    area = rng.gamma(2.0, config.cell_area_um2, n)
+    out_area = np.where(np.arange(n) < m, area, 0.0)
+    in_area = np.where(np.arange(n) < m, 0.0, area)
+    pc = rng.uniform(0.05, 0.95, n)
+    rc = rng.uniform(0.05, 0.95, n)
+
+    # Shuffle ids so driver/load sides interleave like a real netlist
+    # order would; remap matches through the inverse permutation.
+    perm = rng.permutation(n)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[perm] = np.arange(n)
+
+    vpins: list[VPin] = []
+    for new_id in range(n):
+        t = int(perm[new_id])
+        partner_old = t + m if t < m else t - m
+        vpins.append(
+            VPin(
+                id=new_id,
+                net=f"n{t % m}",
+                location=Point(float(vx[t]), float(vy[t])),
+                fragment_wirelength=float(w[t]),
+                pins=(),
+                pin_location=Point(float(px[t]), float(py[t])),
+                in_area=float(in_area[t]),
+                out_area=float(out_area[t]),
+                pc=float(pc[t]),
+                rc=float(rc[t]),
+                matches=frozenset({int(inverse[partner_old])}),
+            )
+        )
+    return SplitView(
+        design_name=f"{config.name}-{config.n_cells}c",
+        split_layer=config.split_layer,
+        die_width=side,
+        die_height=side,
+        vpins=vpins,
+        num_via_layers=10,
+    )

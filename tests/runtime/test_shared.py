@@ -1,0 +1,120 @@
+"""Tests for the zero-copy shared-memory array transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    SharedArray,
+    parallel_map,
+    release_arrays,
+    share_arrays,
+)
+
+
+def _read_back(payload):
+    """Worker: sum a SharedArray's contents (round-trips the pickle path)."""
+    sa, scale = payload
+    return float(sa.array.sum()) * scale
+
+
+class TestSharedArray:
+    def test_round_trip_values(self):
+        data = np.arange(32, dtype=np.float64).reshape(4, 8)
+        with SharedArray.from_array(data) as sa:
+            np.testing.assert_array_equal(sa.array, data)
+            assert sa.array.dtype == np.float64
+            assert sa.shape == (4, 8)
+
+    def test_from_array_copies_once(self):
+        data = np.ones(8)
+        with SharedArray.from_array(data) as sa:
+            data[0] = 99.0  # source mutation must not leak into segment
+            assert sa.array[0] == 1.0
+
+    def test_non_contiguous_input(self):
+        data = np.arange(40, dtype=np.float64).reshape(5, 8)[:, ::2]
+        with SharedArray.from_array(data) as sa:
+            np.testing.assert_array_equal(sa.array, data)
+
+    def test_empty_array(self):
+        with SharedArray.from_array(np.zeros(0)) as sa:
+            assert sa.array.shape == (0,)
+
+    def test_pickle_attaches_by_name(self):
+        import pickle
+
+        data = np.arange(10, dtype=np.int64)
+        with SharedArray.from_array(data) as sa:
+            blob = pickle.dumps(sa)
+            assert len(blob) < 500  # the array itself never rides the pickle
+            attached = pickle.loads(blob)
+            try:
+                np.testing.assert_array_equal(attached.array, data)
+                # Same pages, not a copy: owner-side writes are visible.
+                sa.array[3] = -7
+                assert attached.array[3] == -7
+            finally:
+                attached.close()
+
+    def test_closed_access_raises(self):
+        sa = SharedArray.from_array(np.ones(4))
+        sa.close()
+        with pytest.raises(ValueError, match="closed"):
+            _ = sa.array
+        sa.close()  # idempotent
+        sa.unlink()
+
+    def test_share_release_dict(self):
+        cols = {"a": np.ones(5), "b": np.arange(3, dtype=np.int64)}
+        shared = share_arrays(cols)
+        try:
+            assert set(shared) == {"a", "b"}
+            np.testing.assert_array_equal(shared["b"].array, cols["b"])
+        finally:
+            release_arrays(shared)
+        with pytest.raises(ValueError):
+            _ = shared["a"].array
+
+    def test_repr_states(self):
+        sa = SharedArray.from_array(np.ones(2))
+        assert "owner" in repr(sa) and "open" in repr(sa)
+        name = sa.name
+        sa.close()
+        assert "closed" in repr(sa)
+        SharedArray(name, (2,), "<f8").close()  # attach works post-close
+        sa.unlink()
+
+
+class TestPoolTransport:
+    def test_serial_path_same_object(self):
+        data = np.arange(6, dtype=np.float64)
+        with SharedArray.from_array(data) as sa:
+            # jobs=1 short-circuits the pool entirely: the callee must
+            # see the identical object (zero pickling, zero copies).
+            seen = parallel_map(id, [(sa)], jobs=1)
+            assert seen[0] == id(sa)
+
+    def test_workers_read_shared_block(self):
+        data = np.arange(100, dtype=np.float64)
+        with SharedArray.from_array(data) as sa:
+            results = parallel_map(
+                _read_back, [(sa, 1.0), (sa, 2.0), (sa, 0.5)], jobs=2
+            )
+        expected = float(data.sum())
+        assert results == [expected, expected * 2.0, expected * 0.5]
+
+    def test_segment_survives_worker_exit(self):
+        # A worker closing its attachment must not unlink the segment
+        # out from under the owner (the resource-tracker pitfall).
+        data = np.full(16, 3.0)
+        with SharedArray.from_array(data) as sa:
+            parallel_map(_read_back, [(sa, 1.0)], jobs=2)
+            np.testing.assert_array_equal(sa.array, data)
+            # And a fresh attach still works.
+            again = SharedArray(sa.name, sa.shape, sa.dtype.str)
+            try:
+                np.testing.assert_array_equal(again.array, data)
+            finally:
+                again.close()

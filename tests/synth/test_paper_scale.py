@@ -1,0 +1,92 @@
+"""Tests for the direct paper-scale v-pin synthesizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.splitmfg import legal_pair_mask
+from repro.synth import (
+    VPIN_DENSITY_PER_CELL,
+    PaperScaleConfig,
+    build_paper_scale_view,
+    n_vpins,
+)
+
+
+class TestConfig:
+    def test_defaults_are_million_cell_class(self):
+        cfg = PaperScaleConfig()
+        assert cfg.n_cells == 1_000_000
+        assert cfg.split_layer == 8
+        assert n_vpins(cfg) == 8000
+
+    def test_density_falls_with_layer(self):
+        cfg4 = PaperScaleConfig(n_cells=200_000, split_layer=4)
+        cfg6 = PaperScaleConfig(n_cells=200_000, split_layer=6)
+        cfg8 = PaperScaleConfig(n_cells=200_000, split_layer=8)
+        assert n_vpins(cfg4) > n_vpins(cfg6) > n_vpins(cfg8)
+
+    def test_n_vpins_always_even(self):
+        for cells in (1_003, 50_001, 123_457):
+            assert n_vpins(PaperScaleConfig(n_cells=cells)) % 2 == 0
+
+    def test_invalid_layer_rejected(self):
+        with pytest.raises(ValueError, match="split_layer"):
+            PaperScaleConfig(split_layer=5)
+
+    def test_tiny_design_rejected(self):
+        with pytest.raises(ValueError, match="n_cells"):
+            PaperScaleConfig(n_cells=1)
+
+    def test_die_side_scales_with_cells(self):
+        small = PaperScaleConfig(n_cells=10_000).die_side_um
+        big = PaperScaleConfig(n_cells=1_000_000).die_side_um
+        assert big == pytest.approx(small * 10.0)
+
+
+class TestView:
+    def test_matches_symmetric_and_legal(self):
+        view = build_paper_scale_view(PaperScaleConfig(n_cells=60_000, seed=3))
+        i = np.array([p.id for p in view.vpins])
+        j = np.array([next(iter(p.matches)) for p in view.vpins])
+        assert legal_pair_mask(view, i, j).all()
+        for pin in view.vpins:
+            partner = next(iter(pin.matches))
+            assert pin.id in view.vpins[partner].matches
+
+    def test_driver_load_split_is_half(self):
+        view = build_paper_scale_view(PaperScaleConfig(n_cells=60_000, seed=0))
+        arr = view.arrays()
+        n = len(view)
+        assert int((arr["out_area"] > 0).sum()) == n // 2
+        # v-pins with out_area have no in_area and vice versa
+        assert not np.any((arr["out_area"] > 0) & (arr["in_area"] > 0))
+
+    def test_not_highest_via_split(self):
+        # Layer 8 of 10 via layers: the aligned-coordinate shortcut
+        # must not apply at paper scale.
+        view = build_paper_scale_view(PaperScaleConfig(n_cells=60_000))
+        assert not view.is_highest_via_split
+
+    def test_deterministic_per_seed(self):
+        cfg = PaperScaleConfig(n_cells=30_000, seed=7)
+        a = build_paper_scale_view(cfg).arrays()
+        b = build_paper_scale_view(cfg).arrays()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+        c = build_paper_scale_view(
+            PaperScaleConfig(n_cells=30_000, seed=8)
+        ).arrays()
+        assert not np.array_equal(a["vx"], c["vx"])
+
+    def test_geometry_inside_die(self):
+        view = build_paper_scale_view(PaperScaleConfig(n_cells=30_000, seed=2))
+        arr = view.arrays()
+        for key in ("vx", "vy", "px", "py"):
+            assert arr[key].min() >= 0.0
+            assert arr[key].max() <= view.die_width + 1e-9
+        assert (arr["w"] > 0).all()
+
+    def test_density_table_covers_config_domain(self):
+        assert set(VPIN_DENSITY_PER_CELL) == {4, 6, 8}

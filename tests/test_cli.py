@@ -68,6 +68,14 @@ class TestParser:
         args = build_parser().parse_args(["cache", "stats", "--json"])
         assert args.json is True
 
+    def test_paper_scale_defaults(self):
+        args = build_parser().parse_args(["paper-scale"])
+        assert args.cells == 1_000_000
+        assert args.layer == 8
+        assert args.features == 9
+        assert args.budget_mb is None
+        assert args.engine is None
+
 
 class TestCommands:
     def test_generate_and_split(self, tmp_path, capsys):
@@ -458,3 +466,37 @@ class TestCommands:
             ]
         )
         assert rc == 2
+
+    def test_paper_scale_tiny_run_writes_manifest(self, tmp_path, capsys):
+        rc = main(
+            [
+                "paper-scale",
+                "--cells", "30000",
+                "--train-cells", "20000",
+                "--budget-mb", "4000",
+                "--manifest-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legal pairs scored" in out
+        assert "peak RSS" in out
+        manifests = list(tmp_path.glob("*.json"))
+        assert len(manifests) == 1
+        doc = json.loads(manifests[0].read_text())
+        assert doc["command"] == "paper-scale"
+        assert doc["resources"]["peak_rss_bytes"] > 0
+        assert "process_peak_rss_bytes" in doc["metrics"]["gauges"]
+
+    def test_paper_scale_budget_exceeded_exits_3(self, capsys):
+        rc = main(
+            [
+                "paper-scale",
+                "--cells", "30000",
+                "--train-cells", "20000",
+                "--budget-mb", "1",
+                "--no-manifest",
+            ]
+        )
+        assert rc == 3
+        assert "RSS BUDGET EXCEEDED" in capsys.readouterr().err
