@@ -1,0 +1,68 @@
+"""Bench: pool fault-recovery overhead (worker death -> retry).
+
+Runs the same pooled workload clean and under a seeded worker-kill
+fault plan (one SIGKILLed task, ``REPRO_FAULT_PLAN``), asserting
+bit-identical results and recording what one death-and-retry cycle
+costs on top of the clean run.  The interesting trajectory numbers are
+``clean_seconds`` vs ``chaos_seconds``: recovery is pool rebuild plus
+one backoff, so the delta should stay in the tens-of-milliseconds
+range, not multiply the run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs import get_registry
+from repro.runtime import RetryPolicy, parallel_map
+from repro.runtime.faults import ENV_FAULT_PLAN
+
+_ITEMS = list(range(24))
+_RETRY = RetryPolicy(backoff_s=0.01, max_backoff_s=0.05)
+
+
+def _work(x):
+    total = 0
+    for i in range(20_000):
+        total += (x * i) % 7
+    return total
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def test_fault_recovery_overhead(benchmark, monkeypatch):
+    get_registry().reset()
+    monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+    serial = [_work(x) for x in _ITEMS]
+    clean, t_clean = _timed(
+        lambda: parallel_map(_work, _ITEMS, jobs=2, retry=_RETRY)
+    )
+    monkeypatch.setenv(
+        ENV_FAULT_PLAN, json.dumps({"faults": [{"op": "kill", "task": 3}]})
+    )
+    chaos, t_chaos = benchmark.pedantic(
+        lambda: _timed(
+            lambda: parallel_map(_work, _ITEMS, jobs=2, retry=_RETRY)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Correctness first: recovery must not change a single value.
+    assert clean == serial
+    assert chaos == serial
+    counters = get_registry().snapshot()["counters"]
+    assert counters["pool_worker_deaths"] >= 1
+
+    benchmark.extra_info["clean_seconds"] = round(t_clean, 3)
+    benchmark.extra_info["chaos_seconds"] = round(t_chaos, 3)
+    benchmark.extra_info["worker_deaths"] = counters["pool_worker_deaths"]
+
+    # One injected death must not blow the run up wholesale (pool
+    # rebuild + one retry backoff, not a serial re-run of everything).
+    assert t_chaos <= t_clean * 5 + 2.0

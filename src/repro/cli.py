@@ -25,12 +25,23 @@ Commands:
   by default) and run the full no-neighborhood scoring pass through the
   sharded bounded-RSS evaluator, writing a run manifest whose
   ``resources`` section proves the peak-RSS budget held
-  (``--budget-mb`` exits 3 when exceeded).
+  (``--budget-mb`` exits 3 when exceeded);
+* ``merge-runs`` -- combine shard/partial run manifests (from
+  ``--shard i/N`` or interrupted runs) into one verified run: coverage
+  and hash agreement are checked, reports are reloaded from the
+  checkpoint stores and re-hashed, and the combined ``--out`` report is
+  byte-identical to an uninterrupted serial run.
 
 ``attack``, ``experiments``, and its alias ``run-all`` accept ``--jobs N``
 (process-pool parallelism over folds/experiments; bit-identical to
 serial) and ``--no-cache``/``--cache-dir`` controlling the feature
-memoization cache (see ``repro.runtime``).
+memoization cache (see ``repro.runtime``).  ``experiments``/``run-all``
+are additionally fault-tolerant and resumable: finished experiments are
+checkpointed as they land, SIGINT/SIGTERM writes a partial
+``"status": "interrupted"`` manifest (exit 130), ``--resume`` skips
+already-proven experiments, ``--shard i/N`` partitions the list for
+multi-host fan-out, and ``--task-timeout`` arms the stalled-worker
+watchdog.
 
 Observability (``repro.obs``): the global ``--log-level``/``--log-json``
 flags (or ``REPRO_LOG_*`` env vars) configure structured logging to
@@ -360,41 +371,40 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments.run_all import (
-        build_run_manifest,
-        render_report,
-        run_all,
-    )
-    from .obs.manifest import write_manifest
-    from .obs.trace import drain_spans
+    from .experiments.run_all import execute
 
     _configure_cache(args)
-    drain_spans()  # the manifest should only carry this run's spans
-    outputs = run_all(
-        scale=args.scale,
-        seed=args.seed,
-        only=tuple(args.only) if args.only else None,
-        jobs=args.jobs,
-    )
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(render_report(outputs, timings=False) + "\n")
-    if not args.no_manifest:
-        manifest = build_run_manifest(
-            outputs,
-            scale=args.scale,
-            seed=args.seed,
-            jobs=args.jobs,
-            only=tuple(args.only) if args.only else None,
-            command="experiments",
-        )
-        path = write_manifest(manifest, args.manifest_dir)
-        print(f"run manifest -> {path}", file=sys.stderr)
-    else:
+    code, outputs = execute(args, command="experiments")
+    if outputs is None:
+        return code
+    if args.no_manifest:
         _flush_default_cache_stats()
     for name, output in outputs.items():
         print(f"\n## {name}\n")
         print(output.report)
+    return code
+
+
+def _cmd_merge_runs(args: argparse.Namespace) -> int:
+    from .experiments.run_all import merge_runs, render_report
+    from .obs.manifest import write_manifest
+
+    try:
+        outputs, merged = merge_runs(
+            args.manifests, checkpoint_dir=args.checkpoint_dir
+        )
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_report(outputs, timings=False) + "\n")
+        print(f"combined report -> {args.out}", file=sys.stderr)
+    path = write_manifest(merged, args.manifest_dir)
+    print(
+        f"merged {len(args.manifests)} manifest(s), "
+        f"{len(outputs)} experiment(s) verified -> {path}"
+    )
     return 0
 
 
@@ -610,6 +620,8 @@ def _cmd_paper_scale(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
+    from .experiments.run_all import add_runner_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ML attacks on split manufacturing (paper reproduction)",
@@ -701,8 +713,37 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="do not write a run manifest",
         )
+        add_runner_arguments(experiments)
         _add_cache_arguments(experiments)
         experiments.set_defaults(func=_cmd_experiments)
+
+    merge = sub.add_parser(
+        "merge-runs",
+        help="combine shard/partial run manifests into one verified run",
+    )
+    merge.add_argument(
+        "manifests",
+        nargs="+",
+        help="run manifest JSON files (shard and/or interrupted runs)",
+    )
+    merge.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory to reload reports from (default: the "
+        "directories recorded in the manifests)",
+    )
+    merge.add_argument(
+        "--out",
+        default=None,
+        help="write the combined timing-free report to this file "
+        "(byte-identical to an uninterrupted serial run)",
+    )
+    merge.add_argument(
+        "--manifest-dir",
+        default="results/runs",
+        help="directory for the merged manifest (default: results/runs)",
+    )
+    merge.set_defaults(func=_cmd_merge_runs)
 
     cache = sub.add_parser(
         "cache", help="inspect (stats/list) or clear the feature cache"

@@ -10,6 +10,26 @@ experiment seeds itself from ``(seed, fold)`` alone, so the combined
 output is bit-identical for every ``N`` -- only the ``elapsed`` stamps
 (which never enter ``--out`` files) differ.
 
+The runner is **fault-tolerant and resumable**:
+
+* every finished experiment is checkpointed atomically (report bytes +
+  SHA-256) by the parent process the moment its result lands, so a
+  crash, OOM kill, or Ctrl-C loses at most the work in flight;
+* SIGINT/SIGTERM writes a *partial* manifest (``"status":
+  "interrupted"``) listing the completed experiments' hashes;
+* ``--resume`` skips every experiment whose ``report_sha256`` already
+  appears in a prior manifest of the same ``(scale, seed)`` -- partial,
+  interrupted, and shard manifests all count -- provided a checkpoint
+  with matching bytes exists, and re-runs only the rest;
+* ``--shard i/N`` partitions the experiment list deterministically
+  (round-robin over the canonical order) for multi-host fan-out, and
+  :func:`merge_runs` (CLI: ``repro merge-runs``) combines shard
+  manifests into one verified run whose combined report is
+  byte-identical to an uninterrupted serial run;
+* ``--task-timeout`` arms the pool watchdog
+  (:class:`repro.runtime.RetryPolicy`), turning a stalled worker into
+  a retried task.
+
 Each invocation also writes a **run manifest**
 (``results/runs/<timestamp>-<id>.json`` by default, ``--no-manifest``
 to skip): the configuration, root seed, package versions, per-experiment
@@ -22,26 +42,33 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import signal
 import sys
+import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from ..obs.logging import configure_logging
 from ..obs.manifest import (
     DEFAULT_MANIFEST_DIR,
     build_manifest,
+    load_manifest,
     write_manifest,
 )
 from ..obs.metrics import counter, gauge, get_registry
 from ..obs.resources import resource_sampling, resources_snapshot
 from ..obs.trace import drain_spans, dropped_spans, span
 from ..runtime import (
+    CheckpointStore,
     FeatureCache,
+    RetryPolicy,
     default_cache_dir,
     flush_cache_stats,
     get_default_cache,
     parallel_map,
+    run_key,
     set_default_cache,
 )
 from . import (
@@ -93,6 +120,90 @@ ALL_EXPERIMENTS = (
 
 EXPERIMENTS_BY_NAME = dict(ALL_EXPERIMENTS)
 
+#: CLI exit code of an interrupted (SIGINT/SIGTERM) run, 128 + SIGINT.
+EXIT_INTERRUPTED = 130
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard i/N`` (1-based) into a validated ``(i, N)``."""
+    try:
+        index_text, _, count_text = text.partition("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like i/N (e.g. 1/2), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= i <= N, got {text!r}"
+        )
+    return index, count
+
+
+def shard_slice(names: list[str], shard: tuple[int, int]) -> list[str]:
+    """This shard's deterministic round-robin partition of ``names``.
+
+    Partitioning is by position in the canonical experiment order, so
+    every host computes the same split from ``(i, N)`` alone and the
+    union over all shards is exactly the full list with no overlaps.
+    """
+    index, count = shard
+    return names[index - 1 :: count]
+
+
+def experiment_names(
+    only: tuple[str, ...] | None = None,
+    shard: tuple[int, int] | None = None,
+) -> list[str]:
+    """The canonical-order experiment list after filters."""
+    names = [
+        name
+        for name, _module in ALL_EXPERIMENTS
+        if only is None or name in only
+    ]
+    if shard is not None:
+        names = shard_slice(names, shard)
+    return names
+
+
+def default_checkpoint_dir(
+    manifest_dir: str | Path, scale: float, seed: int
+) -> Path:
+    """Checkpoints live next to their manifests, keyed by (scale, seed)."""
+    return Path(manifest_dir) / "checkpoints" / run_key(scale, seed)
+
+
+def collect_resume_hashes(
+    manifest_dir: str | Path, scale: float, seed: int
+) -> dict[str, str]:
+    """Per-experiment ``report_sha256`` from every prior manifest.
+
+    Scans ``manifest_dir`` for manifests whose config matches this
+    ``(scale, seed)`` -- completed, interrupted, and shard manifests
+    all contribute (the hashes of *finished* experiments are equally
+    trustworthy in each).  Unreadable files are skipped: a torn
+    manifest merely shrinks the resume set.
+    """
+    directory = Path(manifest_dir)
+    hashes: dict[str, str] = {}
+    if not directory.is_dir():
+        return hashes
+    for path in sorted(directory.glob("*.json")):
+        try:
+            manifest = load_manifest(path)
+        except (OSError, ValueError):
+            continue
+        config = manifest.get("config") or {}
+        if config.get("scale") != float(scale):
+            continue
+        if config.get("seed") != int(seed):
+            continue
+        for name, entry in (manifest.get("experiments") or {}).items():
+            sha = entry.get("report_sha256") if isinstance(entry, dict) else None
+            if sha:
+                hashes[name] = sha
+    return hashes
+
 
 def _run_one(task: tuple[str, float, int, str | None]) -> ExperimentOutput:
     """One experiment, self-contained for a pool worker.
@@ -116,33 +227,85 @@ def run_all(
     seed: int = 0,
     only: tuple[str, ...] | None = None,
     jobs: int = 1,
+    *,
+    shard: tuple[int, int] | None = None,
+    checkpoints: CheckpointStore | None = None,
+    resume_hashes: dict[str, str] | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, ExperimentOutput]:
     """Run all (or the named) experiments; returns outputs by name.
 
     ``jobs > 1`` distributes whole experiments over a process pool;
     fold-level ``--jobs`` (inside a single experiment) is for direct
     ``python -m repro.experiments.tableN`` runs, to avoid nesting pools.
+
+    ``checkpoints`` (a :class:`~repro.runtime.CheckpointStore`) makes
+    the run crash-survivable: each finished experiment is persisted the
+    moment its result reaches the parent.  ``resume_hashes`` (from
+    :func:`collect_resume_hashes`) skips experiments whose recorded
+    hash is matched by a verified checkpoint -- the skipped outputs are
+    reconstructed from the checkpointed bytes, so the combined report
+    is byte-identical to a fresh run.  ``shard`` restricts this
+    invocation to its :func:`shard_slice` of the list; ``retry``
+    overrides the pool's default :class:`~repro.runtime.RetryPolicy`.
     """
-    names = [
-        name
-        for name, _module in ALL_EXPERIMENTS
-        if only is None or name in only
-    ]
+    names = experiment_names(only, shard)
+    outputs: dict[str, ExperimentOutput] = {}
+    to_run: list[str] = []
+    for name in names:
+        record = None
+        if resume_hashes is not None and checkpoints is not None:
+            expected = resume_hashes.get(name)
+            if expected is not None:
+                record = checkpoints.load(name, scale=scale, seed=seed)
+                if record is not None and record["report_sha256"] != expected:
+                    record = None  # stale checkpoint: re-run
+        if record is not None:
+            counter("experiments_resumed").inc()
+            outputs[name] = ExperimentOutput(
+                experiment=name,
+                report=record["report"],
+                data={
+                    "elapsed_seconds": record["elapsed_seconds"],
+                    "resumed": True,
+                },
+            )
+        else:
+            to_run.append(name)
     cache = get_default_cache()
     cache_dir = str(cache.root) if cache is not None else None
-    if jobs is not None and jobs != 1 and len(names) > 1:
+    if jobs is not None and jobs != 1 and len(to_run) > 1:
         # Warm the process-local suite cache before the pool forks so
         # workers inherit the built designs instead of rebuilding them.
         get_suite(scale)
-    tasks = [(name, scale, seed, cache_dir) for name in names]
+    tasks = [(name, scale, seed, cache_dir) for name in to_run]
+
+    def _checkpoint_result(index: int, output: ExperimentOutput) -> None:
+        if checkpoints is None:
+            return
+        checkpoints.save(
+            to_run[index],
+            scale=scale,
+            seed=seed,
+            report=output.report,
+            elapsed_seconds=output.data.get("elapsed_seconds", 0.0),
+        )
+
     # Sample RSS/CPU for the duration of the run: the gauges and the
     # per-span peak_rss_bytes watermarks land in the manifest, never in
     # the report.  The context manager uninstalls the span hook on exit
     # so spans recorded outside run_all stay watermark-free.
     with resource_sampling():
         with span("run_all", scale=scale, seed=seed, jobs=jobs, n=len(names)):
-            outputs = parallel_map(_run_one, tasks, jobs=jobs)
-    return dict(zip(names, outputs))
+            ran = parallel_map(
+                _run_one,
+                tasks,
+                jobs=jobs,
+                retry=retry,
+                on_result=_checkpoint_result,
+            )
+    outputs.update(zip(to_run, ran))
+    return {name: outputs[name] for name in names}
 
 
 def render_report(
@@ -166,6 +329,32 @@ def render_report(
     return "\n\n".join(sections)
 
 
+def _manifest_config(
+    scale: float,
+    seed: int,
+    jobs: int | None,
+    only: tuple[str, ...] | None,
+    shard: tuple[int, int] | None,
+    checkpoint_dir: str | Path | None,
+    task_timeout: float | None,
+) -> dict[str, Any]:
+    cache = get_default_cache()
+    return {
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "only": list(only) if only else None,
+        "cache_dir": str(cache.root) if cache is not None else None,
+        "shard": f"{shard[0]}/{shard[1]}" if shard else None,
+        "checkpoint_dir": str(checkpoint_dir) if checkpoint_dir else None,
+        "task_timeout": task_timeout,
+    }
+
+
+def _shard_document(shard: tuple[int, int] | None) -> dict[str, int] | None:
+    return {"index": shard[0], "count": shard[1]} if shard else None
+
+
 def build_run_manifest(
     outputs: dict[str, ExperimentOutput],
     scale: float,
@@ -173,6 +362,12 @@ def build_run_manifest(
     jobs: int,
     only: tuple[str, ...] | None = None,
     command: str = "run_all",
+    *,
+    status: str = "completed",
+    shard: tuple[int, int] | None = None,
+    resumed: list[str] | None = None,
+    checkpoint_dir: str | Path | None = None,
+    task_timeout: float | None = None,
 ) -> dict[str, Any]:
     """Assemble the run manifest for one ``run_all`` invocation.
 
@@ -205,13 +400,9 @@ def build_run_manifest(
     resources = resources_snapshot()
     return build_manifest(
         command=command,
-        config={
-            "scale": scale,
-            "seed": seed,
-            "jobs": jobs,
-            "only": list(only) if only else None,
-            "cache_dir": str(cache.root) if cache is not None else None,
-        },
+        config=_manifest_config(
+            scale, seed, jobs, only, shard, checkpoint_dir, task_timeout
+        ),
         seeds={
             "root": seed,
             "derivation": "np.random.SeedSequence(root).spawn per fold",
@@ -221,10 +412,335 @@ def build_run_manifest(
         cache=cache_document,
         experiments=experiments,
         resources=resources,
+        status=status,
+        shard=_shard_document(shard),
+        resumed=resumed,
     )
 
 
-def main(argv: list[str] | None = None) -> None:
+def build_interrupted_manifest(
+    checkpoints: CheckpointStore,
+    names: list[str],
+    scale: float,
+    seed: int,
+    jobs: int,
+    only: tuple[str, ...] | None = None,
+    command: str = "run_all",
+    *,
+    shard: tuple[int, int] | None = None,
+    task_timeout: float | None = None,
+) -> dict[str, Any]:
+    """The partial manifest a SIGINT/SIGTERM run leaves behind.
+
+    Its ``experiments`` section lists only the experiments whose
+    checkpoints verify -- exactly the set a later ``--resume`` may
+    skip.  Span trees and metrics are whatever reached the parent
+    before the interrupt; they are advisory, the hashes are the point.
+    """
+    records = checkpoints.load_all(scale=scale, seed=seed)
+    experiments = {
+        name: {
+            "elapsed_seconds": round(
+                records[name].get("elapsed_seconds", 0.0), 6
+            ),
+            "report_sha256": records[name]["report_sha256"],
+        }
+        for name in names
+        if name in records
+    }
+    gauge("trace_dropped_spans").set(dropped_spans())
+    return build_manifest(
+        command=command,
+        config=_manifest_config(
+            scale, seed, jobs, only, shard, checkpoints.root, task_timeout
+        ),
+        seeds={
+            "root": seed,
+            "derivation": "np.random.SeedSequence(root).spawn per fold",
+        },
+        spans=drain_spans(),
+        metrics=get_registry().snapshot(),
+        experiments=experiments,
+        resources=resources_snapshot(),
+        status="interrupted",
+        shard=_shard_document(shard),
+    )
+
+
+def merge_runs(
+    manifest_paths: list[str | Path],
+    checkpoint_dir: str | Path | None = None,
+) -> tuple[dict[str, ExperimentOutput], dict[str, Any]]:
+    """Combine shard/partial manifests into one verified run.
+
+    Verifies that every expected experiment (the canonical list, under
+    the manifests' shared ``--only`` filter) is covered exactly once --
+    duplicated entries must agree on their hash -- then reloads each
+    report from the shards' checkpoint stores (or ``checkpoint_dir``
+    when given), re-verifies every ``report_sha256``, and returns the
+    outputs (canonical order, so :func:`render_report` reproduces the
+    uninterrupted serial document byte-for-byte) plus a merged manifest
+    whose ``merged_from`` lists the source run ids.
+
+    Raises ``ValueError`` on config mismatch, coverage gaps, hash
+    conflicts, or missing/stale checkpoints.
+    """
+    if not manifest_paths:
+        raise ValueError("no manifests to merge")
+    manifests = [(Path(path), load_manifest(path)) for path in manifest_paths]
+    first_path, first = manifests[0]
+    base = first.get("config") or {}
+    scale, seed = base.get("scale"), base.get("seed")
+    if scale is None or seed is None:
+        raise ValueError(f"{first_path}: manifest has no scale/seed config")
+    only = base.get("only")
+    for path, manifest in manifests[1:]:
+        config = manifest.get("config") or {}
+        if config.get("scale") != scale or config.get("seed") != seed:
+            raise ValueError(
+                f"{path}: scale/seed differs from {first_path}"
+            )
+        if config.get("only") != only:
+            raise ValueError(
+                f"{path}: experiment selection (--only) differs from "
+                f"{first_path}"
+            )
+    expected = experiment_names(tuple(only) if only else None)
+    shas: dict[str, str] = {}
+    elapsed: dict[str, float] = {}
+    for path, manifest in manifests:
+        for name, entry in (manifest.get("experiments") or {}).items():
+            sha = entry.get("report_sha256") if isinstance(entry, dict) else None
+            if not sha:
+                continue
+            if shas.get(name, sha) != sha:
+                raise ValueError(
+                    f"conflicting report_sha256 for {name!r} across manifests"
+                )
+            shas[name] = sha
+            elapsed[name] = float(entry.get("elapsed_seconds", 0.0))
+    missing = [name for name in expected if name not in shas]
+    if missing:
+        raise ValueError(
+            "merged manifests do not cover: " + ", ".join(missing)
+        )
+    stores: list[CheckpointStore] = []
+    if checkpoint_dir is not None:
+        stores.append(CheckpointStore(checkpoint_dir))
+    else:
+        seen: set[str] = set()
+        for _path, manifest in manifests:
+            directory = (manifest.get("config") or {}).get("checkpoint_dir")
+            if directory and directory not in seen:
+                seen.add(directory)
+                stores.append(CheckpointStore(directory))
+    if not stores:
+        raise ValueError(
+            "no checkpoint directory recorded in the manifests; "
+            "pass --checkpoint-dir"
+        )
+    outputs: dict[str, ExperimentOutput] = {}
+    for name in expected:
+        record = None
+        for store in stores:
+            candidate = store.load(name, scale=scale, seed=seed)
+            if candidate is not None and candidate["report_sha256"] == shas[name]:
+                record = candidate
+                break
+        if record is None:
+            raise ValueError(
+                f"no checkpoint matching the manifest hash for {name!r} "
+                f"(searched {[str(s.root) for s in stores]})"
+            )
+        outputs[name] = ExperimentOutput(
+            experiment=name,
+            report=record["report"],
+            data={"elapsed_seconds": record["elapsed_seconds"]},
+        )
+    merged = build_manifest(
+        command="merge-runs",
+        config=_manifest_config(
+            scale,
+            seed,
+            None,
+            tuple(only) if only else None,
+            None,
+            checkpoint_dir,
+            None,
+        ),
+        seeds={
+            "root": seed,
+            "derivation": "np.random.SeedSequence(root).spawn per fold",
+        },
+        experiments={
+            name: {
+                "elapsed_seconds": round(elapsed[name], 6),
+                "report_sha256": shas[name],
+            }
+            for name in expected
+        },
+        merged_from=[manifest.get("run_id") for _path, manifest in manifests],
+    )
+    return outputs, merged
+
+
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Deliver SIGTERM as KeyboardInterrupt for the duration (main thread).
+
+    SIGINT already raises KeyboardInterrupt; routing SIGTERM through the
+    same path gives both signals the write-partial-manifest-then-exit
+    behavior instead of dying with no manifest.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield  # signal handlers only install from the main thread
+        return
+
+    def _handler(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance/resume flags, shared with ``repro run-all``."""
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments whose report_sha256 already appears in a "
+        "prior manifest (and whose checkpoint verifies)",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only this 1-based round-robin shard of the experiment "
+        "list (multi-host fan-out; combine with 'repro merge-runs')",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="per-experiment checkpoint directory (default: "
+        "<manifest-dir>/checkpoints/<scale-seed key>)",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="do not write per-experiment checkpoints (disables --resume)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a pool task that runs longer than this "
+        "(watchdog for stalled workers)",
+    )
+
+
+def execute(
+    args: argparse.Namespace, command: str = "run_all"
+) -> tuple[int, dict[str, ExperimentOutput] | None]:
+    """The shared CLI core: run (or resume) experiments, write manifests.
+
+    Returns ``(exit_code, outputs)``; ``outputs`` is ``None`` when the
+    run failed to start or was interrupted (in which case a partial
+    ``"status": "interrupted"`` manifest has been written, unless
+    manifests or checkpoints are disabled).
+    """
+    only = tuple(args.only) if args.only else None
+    try:
+        shard = parse_shard(args.shard) if getattr(args, "shard", None) else None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2, None
+    manifest_dir = Path(getattr(args, "manifest_dir", DEFAULT_MANIFEST_DIR))
+    checkpoints: CheckpointStore | None = None
+    if not getattr(args, "no_checkpoint", False):
+        root = getattr(args, "checkpoint_dir", None) or default_checkpoint_dir(
+            manifest_dir, args.scale, args.seed
+        )
+        checkpoints = CheckpointStore(root)
+    resume_hashes = None
+    if getattr(args, "resume", False):
+        if checkpoints is None:
+            print(
+                "--resume needs checkpoints; drop --no-checkpoint",
+                file=sys.stderr,
+            )
+            return 2, None
+        resume_hashes = collect_resume_hashes(
+            manifest_dir, args.scale, args.seed
+        )
+    task_timeout = getattr(args, "task_timeout", None)
+    retry = RetryPolicy(task_timeout_s=task_timeout) if task_timeout else None
+    names = experiment_names(only, shard)
+    drain_spans()  # the manifest should only carry this run's spans
+    try:
+        with _sigterm_as_interrupt():
+            outputs = run_all(
+                scale=args.scale,
+                seed=args.seed,
+                only=only,
+                jobs=args.jobs,
+                shard=shard,
+                checkpoints=checkpoints,
+                resume_hashes=resume_hashes,
+                retry=retry,
+            )
+    except KeyboardInterrupt:
+        if not args.no_manifest and checkpoints is not None:
+            manifest = build_interrupted_manifest(
+                checkpoints,
+                names,
+                scale=args.scale,
+                seed=args.seed,
+                jobs=args.jobs,
+                only=only,
+                command=command,
+                shard=shard,
+                task_timeout=task_timeout,
+            )
+            path = write_manifest(manifest, manifest_dir)
+            completed = len(manifest.get("experiments", {}))
+            print(
+                f"interrupted: partial manifest ({completed} completed "
+                f"experiment(s)) -> {path}",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted (no partial manifest written)", file=sys.stderr)
+        return EXIT_INTERRUPTED, None
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_report(outputs, timings=False) + "\n")
+    if not args.no_manifest:
+        resumed = [
+            name for name, output in outputs.items()
+            if output.data.get("resumed")
+        ]
+        manifest = build_run_manifest(
+            outputs,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            only=only,
+            command=command,
+            shard=shard,
+            resumed=resumed,
+            checkpoint_dir=checkpoints.root if checkpoints else None,
+            task_timeout=task_timeout,
+        )
+        path = write_manifest(manifest, manifest_dir)
+        print(f"run manifest -> {path}", file=sys.stderr)
+    return 0, outputs
+
+
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run experiments and print/save the report."""
     parser = argparse.ArgumentParser(description="Run all paper experiments")
     parser.add_argument("--scale", type=positive_scale, default=DEFAULT_SCALE)
@@ -258,6 +774,7 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="do not write a run manifest",
     )
+    add_runner_arguments(parser)
     parser.add_argument(
         "--log-level",
         default=None,
@@ -275,28 +792,11 @@ def main(argv: list[str] | None = None) -> None:
     )
     if not args.no_cache:
         set_default_cache(FeatureCache(args.cache_dir or default_cache_dir()))
-    drain_spans()  # the manifest should only carry this run's spans
-    outputs = run_all(
-        scale=args.scale,
-        seed=args.seed,
-        only=tuple(args.only) if args.only else None,
-        jobs=args.jobs,
-    )
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(render_report(outputs, timings=False) + "\n")
-    if not args.no_manifest:
-        manifest = build_run_manifest(
-            outputs,
-            scale=args.scale,
-            seed=args.seed,
-            jobs=args.jobs,
-            only=tuple(args.only) if args.only else None,
-        )
-        path = write_manifest(manifest, Path(args.manifest_dir))
-        print(f"run manifest -> {path}", file=sys.stderr)
-    print(render_report(outputs, timings=True))
+    code, outputs = execute(args, command="run_all")
+    if outputs is not None:
+        print(render_report(outputs, timings=True))
+    return code
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

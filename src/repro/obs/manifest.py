@@ -16,9 +16,18 @@ Schema history:
 * **v2** -- adds a top-level ``resources`` section (RSS / peak-RSS /
   CPU readings from :mod:`repro.obs.resources`), ``gauges`` inside the
   metrics snapshot, and ``start_s`` + ``peak_rss_bytes`` on spans.
-  :func:`load_manifest` reads both: v1 documents come back with the
-  new sections defaulted, so downstream tools (the Chrome-trace
-  exporter) never branch on version.
+* **v3** -- adds the fault-tolerant-runtime fields: ``status``
+  (``"completed"`` for a clean finish, ``"interrupted"`` for a partial
+  manifest written on SIGINT/SIGTERM -- its ``experiments`` section
+  then lists only the finished hashes, exactly what ``--resume``
+  consumes), ``shard`` (``{"index": i, "count": N}`` for a
+  ``--shard i/N`` partition, else ``null``), ``resumed`` (experiment
+  names skipped because a prior manifest already proved their hashes),
+  and ``merged_from`` (source run ids of a ``repro merge-runs``
+  combination).  :func:`load_manifest` reads all versions: older
+  documents come back with the new sections defaulted
+  (``status: "completed"``), so downstream tools never branch on
+  version.
 
 Manifests are observability output, never experiment output: the
 report documents compared across ``--jobs`` values do not contain (or
@@ -37,10 +46,13 @@ from pathlib import Path
 from typing import Any
 
 #: Manifest schema version (bump on breaking layout changes).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions :func:`load_manifest` knows how to read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+
+#: Values the ``status`` field may take.
+RUN_STATUSES = ("completed", "interrupted")
 
 #: Default directory for run manifests, relative to the working dir.
 DEFAULT_MANIFEST_DIR = Path("results") / "runs"
@@ -76,13 +88,23 @@ def build_manifest(
     experiments: dict[str, Any] | None = None,
     resources: dict[str, Any] | None = None,
     run_id: str | None = None,
+    status: str = "completed",
+    shard: dict[str, int] | None = None,
+    resumed: list[str] | None = None,
+    merged_from: list[str] | None = None,
 ) -> dict[str, Any]:
     """Assemble a manifest document (pure; nothing is written)."""
+    if status not in RUN_STATUSES:
+        raise ValueError(
+            f"status must be one of {RUN_STATUSES}, got {status!r}"
+        )
     manifest: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "run_id": run_id or new_run_id(),
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "command": command,
+        "status": status,
+        "shard": shard,
         "config": config,
         "seeds": seeds,
         "versions": package_versions(),
@@ -94,6 +116,10 @@ def build_manifest(
         "metrics": metrics or {},
         "resources": resources or {},
     }
+    if resumed:
+        manifest["resumed"] = list(resumed)
+    if merged_from:
+        manifest["merged_from"] = list(merged_from)
     if cache is not None:
         manifest["cache"] = cache
     if experiments is not None:
@@ -122,6 +148,8 @@ def load_manifest(path: str | Path) -> dict[str, Any]:
         )
     manifest.setdefault("spans", [])
     manifest.setdefault("resources", {})
+    manifest.setdefault("status", "completed")
+    manifest.setdefault("shard", None)
     metrics = manifest.setdefault("metrics", {})
     if isinstance(metrics, dict):
         metrics.setdefault("counters", {})

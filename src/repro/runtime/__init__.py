@@ -28,13 +28,26 @@ from .cache import (
     set_default_cache,
     view_content_hash,
 )
-from .pool import parallel_map, resolve_jobs
+from .checkpoint import CheckpointStore, run_key
+from .faults import FaultPlan, FaultPlanError, InjectedFault
+from .pool import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    parallel_map,
+    resolve_jobs,
+)
 from .seeding import spawn_seeds, spawn_seedsequences
 from .shared import SharedArray, release_arrays, share_arrays
 
 __all__ = [
+    "CheckpointStore",
+    "DEFAULT_RETRY_POLICY",
+    "FaultPlan",
+    "FaultPlanError",
     "FeatureCache",
+    "InjectedFault",
     "MAX_CHUNKED_BYTES",
+    "RetryPolicy",
     "SharedArray",
     "code_fingerprint",
     "default_cache_dir",
@@ -44,6 +57,7 @@ __all__ = [
     "parallel_map",
     "release_arrays",
     "resolve_jobs",
+    "run_key",
     "set_default_cache",
     "share_arrays",
     "spawn_seeds",

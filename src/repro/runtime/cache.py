@@ -35,16 +35,23 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..obs.logging import get_logger
 from ..obs.metrics import counter, get_registry
+from . import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..splitmfg.split import SplitView
+
+logger = get_logger("runtime.cache")
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: Sidecar file (inside the cache root) accumulating lifetime stats.
 STATS_FILE = "stats.json"
+
+#: Subdirectory corrupt entries are moved into (never globbed as entries).
+QUARANTINE_DIR = "quarantine"
 
 #: Counter names tracked per cache event; registry metrics are
 #: ``cache_<name>`` and the sidecar/``stats()`` documents use the bare
@@ -55,6 +62,7 @@ CACHE_COUNTERS = (
     "puts",
     "put_rejected",
     "evicted",
+    "corrupt_entries",
     "hit_bytes",
     "put_bytes",
 )
@@ -197,6 +205,7 @@ class FeatureCache:
         self.puts = 0
         self.put_rejected = 0
         self.evicted = 0
+        self.corrupt_entries = 0
         self.hit_bytes = 0
         self.put_bytes = 0
 
@@ -207,12 +216,42 @@ class FeatureCache:
         setattr(self, name, getattr(self, name) + amount)
         counter(f"cache_{name}").inc(amount)
 
-    def get(self, key: str) -> dict[str, np.ndarray] | None:
-        """The stored arrays for ``key``, or ``None`` on a miss."""
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt file out of the entry namespace (self-heal).
+
+        A truncated or garbled entry (torn write, bad magic, disk
+        corruption) is a *miss*, not an error: the caller recomputes and
+        the fresh put replaces it.  The corrupt bytes are preserved
+        under ``quarantine/`` for post-mortems rather than deleted --
+        and crucially they stop matching the ``*.npz`` entry glob, so
+        one bad file cannot fail every later lookup of its key.
+        """
+        quarantine = self.root / QUARANTINE_DIR
         try:
-            with np.load(self._path(key), allow_pickle=False) as data:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # racing worker already healed it
+        self._count("corrupt_entries")
+        logger.warning("quarantined corrupt cache entry %s", path.name)
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """The stored arrays for ``key``, or ``None`` on a miss.
+
+        A corrupt entry is quarantined and treated as a miss (counted in
+        ``cache_corrupt_entries``), so a torn write never raises into
+        the experiment that merely tried to reuse it.
+        """
+        path = self._path(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
                 arrays = {name: data[name] for name in data.files}
         except (OSError, ValueError, zipfile.BadZipFile, EOFError):
+            if path.exists():
+                self._quarantine(path)
             self._count("misses")
             return None
         self._count("hits")
@@ -234,6 +273,10 @@ class FeatureCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **arrays)
+            # Chaos hook: a matching REPRO_FAULT_PLAN torn_write rule
+            # truncates the bytes here, publishing exactly the torn
+            # entry a crash mid-write would leave for get() to heal.
+            faults.maybe_tear_write(temp_name, key=key)
             os.replace(temp_name, self._path(key))
         except OSError:
             try:
@@ -318,12 +361,34 @@ class FeatureCache:
 
 
 def _read_sidecar(root: Path) -> dict[str, int]:
-    """The sidecar totals (zeros when absent or unreadable)."""
+    """The sidecar totals (zeros when absent or unreadable).
+
+    A corrupt sidecar (torn write) self-heals the same way a corrupt
+    entry does: it is quarantined, counted in ``cache_corrupt_entries``,
+    and the totals restart from zero -- the sidecar is advisory
+    bookkeeping, so losing it must never fail a run.
+    """
     totals = {name: 0 for name in CACHE_COUNTERS}
+    path = Path(root) / STATS_FILE
     try:
-        with open(Path(root) / STATS_FILE) as handle:
+        with open(path) as handle:
             stored = json.load(handle)
-    except (OSError, ValueError):
+        if not isinstance(stored, dict):
+            raise ValueError("sidecar is not a JSON object")
+    except OSError:
+        return totals
+    except ValueError:
+        quarantine = Path(root) / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        counter("cache_corrupt_entries").inc()
+        logger.warning("quarantined corrupt cache sidecar %s", path)
         return totals
     for name in CACHE_COUNTERS:
         try:

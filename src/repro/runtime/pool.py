@@ -1,10 +1,23 @@
-"""Order-preserving process-pool map for experiment fan-out.
+"""Order-preserving, fault-tolerant process-pool map for experiment fan-out.
 
 The one rule of this module: ``parallel_map(fn, items, jobs=N)`` returns
 exactly what ``[fn(x) for x in items]`` returns, in the same order, for
 every ``N``.  Determinism is the caller's job (see
-:mod:`repro.runtime.seeding`); order preservation and the serial
-fast path are this module's.
+:mod:`repro.runtime.seeding`); order preservation, the serial fast
+path, and -- since the fault-tolerance rework -- *surviving worker
+death* are this module's.
+
+Failure handling (:class:`RetryPolicy`): a task whose worker dies
+(``BrokenProcessPool``) or that raises is resubmitted to a rebuilt pool
+with bounded exponential backoff; a task that keeps failing degrades to
+in-process serial execution, so one poisonous item can never sink the
+other N-1 results.  A ``task_timeout_s`` watchdog SIGKILLs the pool
+when a running task stalls past its deadline, which turns a hang into
+the (retryable) worker-death path.  Retried results are still returned
+in input order, and each retry re-runs ``fn`` from scratch with the
+same item -- the dead attempt's partial metrics never ship -- so output
+is byte-identical to a clean run.  ``pool_worker_deaths``,
+``task_retries``, and ``tasks_degraded_serial`` count the recoveries.
 
 Observability rides along invisibly: when work goes to the pool, each
 task is wrapped so the worker (1) re-applies the parent's logging and
@@ -24,27 +37,77 @@ Large read-only NumPy inputs should ride in a :class:`~repro.runtime
 so each worker attaches to the one shared block instead of receiving a
 private copy, and on the serial fast path the callee gets the original
 object untouched.
+
+Chaos testing: workers call :func:`repro.runtime.faults.inject` before
+each task, so a seeded ``REPRO_FAULT_PLAN`` can kill/stall/fail chosen
+``(task, attempt)`` coordinates reproducibly (the recovery machinery
+above is what the injected faults exercise).
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from ..obs.logging import apply_log_config, log_config
-from ..obs.metrics import get_registry, snapshot_delta
+from ..obs.logging import apply_log_config, get_logger, log_config
+from ..obs.metrics import counter, get_registry, snapshot_delta
 from ..obs.resources import (
     apply_resource_config,
     resource_config,
     update_resource_gauges,
 )
 from ..obs.trace import adopt_spans, drain_spans, reset_tracing
+from . import faults
 from .shared import SharedArray, release_arrays, share_arrays  # noqa: F401
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+logger = get_logger("runtime.pool")
+
+#: Completion-loop poll interval: bounds watchdog/backoff resolution.
+POLL_INTERVAL_S = 0.05
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`parallel_map` responds to task and worker failure.
+
+    A task is tried at most ``1 + max_retries`` times on the pool (with
+    ``backoff_s * backoff_factor**k`` sleeps between attempts, capped at
+    ``max_backoff_s``) before degrading to in-process serial execution
+    -- where a still-failing task finally raises, preserving the
+    propagate-the-error contract for deterministic bugs.
+    ``task_timeout_s`` arms a watchdog that SIGKILLs the pool's workers
+    when a *running* task exceeds the deadline (the only way to reclaim
+    a stalled ``ProcessPoolExecutor`` worker); the breakage is then
+    handled like any other worker death.  ``max_pool_rebuilds`` caps
+    pool reconstructions per ``parallel_map`` call -- beyond it, every
+    remaining task degrades to serial rather than thrashing.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    task_timeout_s: float | None = None
+    max_pool_rebuilds: int = 8
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before resubmitting a task that failed ``attempt`` times."""
+        exponent = max(attempt - 1, 0)
+        return min(
+            self.backoff_s * self.backoff_factor**exponent, self.max_backoff_s
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -70,15 +133,21 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def _observed_call(
     payload: tuple[
-        Callable[[T], R], T, dict[str, Any] | None, dict[str, Any] | None
+        Callable[[T], R],
+        T,
+        int,
+        int,
+        dict[str, Any] | None,
+        dict[str, Any] | None,
     ],
 ) -> tuple[R, list[dict[str, Any]], dict[str, Any]]:
     """Run one task in a worker, capturing its spans and metric delta."""
-    fn, item, logging_config, sampling_config = payload
+    fn, item, index, attempt, logging_config, sampling_config = payload
     apply_log_config(logging_config)
     apply_resource_config(sampling_config)
     reset_tracing()
     before = get_registry().snapshot()
+    faults.inject("task", index=index, attempt=attempt)
     result = fn(item)
     if sampling_config:
         # Final reading so the shipped gauge delta carries this task's
@@ -91,35 +160,256 @@ def _observed_call(
     return result, spans, delta
 
 
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every live worker (watchdog / interrupt teardown)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+
+
+def _run_pooled(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    workers: int,
+    policy: RetryPolicy,
+    on_result: Callable[[int, R], None] | None,
+) -> list[R]:
+    """The fault-tolerant pool path of :func:`parallel_map`."""
+    logging_config = log_config()
+    sampling_config = resource_config()
+    n = len(work)
+    collected: dict[int, tuple[R, list[dict[str, Any]], dict[str, Any] | None]]
+    collected = {}
+    attempts = [0] * n  # failed pool attempts per task
+    to_submit: list[int] = list(range(n))
+    retry_heap: list[tuple[float, int]] = []  # (ready time, index)
+    degraded: set[int] = set()
+    pending: dict[Any, int] = {}  # future -> index
+    running_since: dict[int, float] = {}
+    free_passes: set[tuple[int, int]] = set()  # (index, attempt) resubmits
+    rebuilds = 0
+    pool: ProcessPoolExecutor | None = None
+
+    def charge_failure(index: int) -> None:
+        """One failed pool attempt: schedule a retry or degrade."""
+        attempts[index] += 1
+        if attempts[index] > policy.max_retries:
+            counter("tasks_degraded_serial").inc()
+            logger.warning(
+                "task %d failed %d time(s) on the pool; degrading to "
+                "in-process execution", index, attempts[index],
+            )
+            degraded.add(index)
+        else:
+            counter("task_retries").inc()
+            ready = time.monotonic() + policy.backoff(attempts[index])
+            heapq.heappush(retry_heap, (ready, index))
+
+    def charge_or_resubmit(index: int, observed_running: bool) -> None:
+        """A task's future resolved broken: charge it or resubmit free.
+
+        Queued-but-unstarted tasks are innocent bystanders of someone
+        else's death, so they resubmit without burning retry budget --
+        but the running-state poll can miss a task whose worker dies
+        faster than one poll interval, and an uncharged instant-killer
+        would loop the rebuild budget away.  One free pass per
+        ``(index, attempt)``: the second broken resolution at the same
+        attempt is charged even if the task was never seen running.
+        """
+        if observed_running or (index, attempts[index]) in free_passes:
+            charge_failure(index)
+        else:
+            free_passes.add((index, attempts[index]))
+            to_submit.append(index)
+
+    def handle_pool_broken() -> None:
+        """A worker died: rebuild state, charge the tasks that were running."""
+        nonlocal rebuilds, pool
+        rebuilds += 1
+        counter("pool_worker_deaths").inc()
+        lost = sorted(pending.values())
+        was_running = set(running_since)
+        pending.clear()
+        running_since.clear()
+        if pool is not None:
+            _kill_pool_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        logger.warning(
+            "process pool broken (rebuild %d/%d); %d task(s) in flight",
+            rebuilds, policy.max_pool_rebuilds, len(lost),
+        )
+        for index in lost:
+            charge_or_resubmit(index, index in was_running)
+        if rebuilds > policy.max_pool_rebuilds:
+            # The pool keeps dying without converging: stop trusting it.
+            survivors = sorted(
+                set(to_submit) | {index for _, index in retry_heap}
+            )
+            if survivors:
+                counter("tasks_degraded_serial").inc(len(survivors))
+                logger.warning(
+                    "pool rebuild budget exhausted; running %d remaining "
+                    "task(s) in-process", len(survivors),
+                )
+            to_submit.clear()
+            retry_heap.clear()
+            degraded.update(survivors)
+
+    try:
+        while len(collected) < n:
+            # Degraded tasks run inline, in index order, with no fault
+            # injection -- this is the recovery of last resort, and it
+            # must behave exactly like a ``jobs=1`` run of the item.
+            while degraded:
+                index = min(degraded)
+                degraded.discard(index)
+                value = fn(work[index])
+                collected[index] = (value, [], None)
+                if on_result is not None:
+                    on_result(index, value)
+            if len(collected) >= n:
+                break
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, index = heapq.heappop(retry_heap)
+                to_submit.append(index)
+            if to_submit:
+                if pool is None and rebuilds <= policy.max_pool_rebuilds:
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=_pool_context()
+                    )
+                while to_submit:
+                    index = to_submit.pop(0)
+                    try:
+                        future = pool.submit(
+                            _observed_call,
+                            (
+                                fn,
+                                work[index],
+                                index,
+                                attempts[index],
+                                logging_config,
+                                sampling_config,
+                            ),
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        to_submit.append(index)
+                        handle_pool_broken()
+                        break
+                    pending[future] = index
+            if not pending:
+                if retry_heap:
+                    time.sleep(
+                        min(
+                            max(retry_heap[0][0] - time.monotonic(), 0.0),
+                            POLL_INTERVAL_S,
+                        )
+                    )
+                continue
+            done, _ = wait(
+                set(pending), timeout=POLL_INTERVAL_S,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            for future, index in pending.items():
+                if future.running() and index not in running_since:
+                    running_since[index] = now
+            broken = False
+            for future in done:
+                index = pending.pop(future)
+                was_running = index in running_since
+                running_since.pop(index, None)
+                try:
+                    value, spans, delta = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    charge_or_resubmit(index, was_running)
+                except Exception:
+                    # The task itself raised (a bug or an injected
+                    # fault): retry, then degrade -- the degraded
+                    # in-process run re-raises deterministic errors.
+                    charge_failure(index)
+                else:
+                    collected[index] = (value, spans, delta)
+                    if on_result is not None:
+                        on_result(index, value)
+            if broken:
+                handle_pool_broken()
+                continue
+            if policy.task_timeout_s is not None and pool is not None:
+                overdue = [
+                    index
+                    for index, started in running_since.items()
+                    if now - started > policy.task_timeout_s
+                ]
+                if overdue:
+                    logger.warning(
+                        "task(s) %s exceeded task_timeout_s=%.3g; killing "
+                        "pool workers", overdue, policy.task_timeout_s,
+                    )
+                    # The only way to reclaim a stalled worker: kill the
+                    # pool and let the breakage path retry its tasks.
+                    _kill_pool_workers(pool)
+    except BaseException:
+        if pool is not None:
+            _kill_pool_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    registry = get_registry()
+    results: list[R] = []
+    for index in range(n):
+        value, spans, delta = collected[index]
+        adopt_spans(spans)
+        registry.merge(delta)
+        results.append(value)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    on_result: Callable[[int, R], None] | None = None,
 ) -> list[R]:
-    """Map ``fn`` over ``items``, optionally on a process pool.
+    """Map ``fn`` over ``items``, optionally on a fault-tolerant pool.
 
     ``jobs <= 1`` (or a single item) runs serially in-process with no
     executor overhead.  ``fn`` and every item must be picklable when
     ``jobs > 1``; results come back in input order.  Spans and metrics
     recorded by ``fn`` inside workers are merged back into this
     process's tracer and registry, in input order.
+
+    ``retry`` (default :data:`DEFAULT_RETRY_POLICY`) governs recovery
+    from worker death, task exceptions, and -- when ``task_timeout_s``
+    is set -- stalls; see :class:`RetryPolicy`.  ``on_result`` is
+    invoked in the parent as ``on_result(index, result)`` the moment
+    each task's result lands (completion order, not input order):
+    callers use it to checkpoint incrementally so an interrupted run
+    keeps everything already finished.
     """
     work: Sequence[T] = list(items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    workers = min(jobs, len(work))
-    logging_config = log_config()
-    sampling_config = resource_config()
-    payloads = [
-        (fn, item, logging_config, sampling_config) for item in work
-    ]
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        observed = list(pool.map(_observed_call, payloads))
-    registry = get_registry()
-    results: list[R] = []
-    for result, spans, delta in observed:
-        adopt_spans(spans)
-        registry.merge(delta)
-        results.append(result)
-    return results
+        results = []
+        for index, item in enumerate(work):
+            value = fn(item)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+    return _run_pooled(
+        fn,
+        work,
+        min(jobs, len(work)),
+        retry or DEFAULT_RETRY_POLICY,
+        on_result,
+    )

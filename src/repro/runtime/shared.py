@@ -35,9 +35,43 @@ not for concurrent mutation -- no synchronization is provided).
 
 from __future__ import annotations
 
+import time
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
+
+from ..obs.metrics import counter
+
+#: Attach attempts beyond the first when the segment name is not (yet)
+#: visible -- the owner may have published the name before the kernel
+#: made the segment reachable from a freshly-forked worker.
+ATTACH_RETRIES = 5
+
+#: First retry backoff; doubles per attempt.
+ATTACH_BACKOFF_S = 0.01
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment, retrying the name-visibility race.
+
+    A worker can unpickle a :class:`SharedArray` (so the segment
+    definitely exists) and still get ``FileNotFoundError`` from the
+    first attach -- the publish is not atomic with visibility on every
+    platform.  A few short, exponentially backed-off retries distinguish
+    that race (transient, counted in ``shared_attach_retries``) from a
+    genuinely missing segment, which still raises.
+    """
+    delay = ATTACH_BACKOFF_S
+    for attempt in range(ATTACH_RETRIES + 1):
+        try:
+            return shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            if attempt == ATTACH_RETRIES:
+                raise
+            counter("shared_attach_retries").inc()
+            time.sleep(delay)
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class SharedArray:
@@ -53,7 +87,7 @@ class SharedArray:
         _owner: bool = False,
     ) -> None:
         if _shm is None:  # attach to an existing segment by name
-            _shm = shared_memory.SharedMemory(name=name)
+            _shm = _attach(name)
             # The tracker would unlink the segment when *this* process
             # exits; only the owner should, and it has its own
             # registration.  (Python 3.13's ``track=False`` does the

@@ -133,7 +133,12 @@ class TestRunManifest:
             "jobs": 2,
             "only": list(self.ONLY),
             "cache_dir": None,
+            "shard": None,
+            "checkpoint_dir": None,
+            "task_timeout": None,
         }
+        assert manifest["status"] == "completed"
+        assert manifest["shard"] is None
         assert manifest["seeds"]["root"] == 0
         (root,) = manifest["spans"]
         assert root["name"] == "run_all"
@@ -204,6 +209,7 @@ class TestRunManifest:
                 "--only", "figure4",
                 "--no-cache",
                 "--no-manifest",
+                "--no-checkpoint",
                 "--manifest-dir", str(tmp_path / "runs"),
             ]
         )

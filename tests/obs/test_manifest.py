@@ -65,7 +65,7 @@ class TestBuildManifest:
 class TestSchemaV2:
     def test_resources_section_always_present(self):
         manifest = build_manifest(command="x", config={}, seeds={})
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == SCHEMA_VERSION
         assert manifest["resources"] == {}
 
     def test_resources_carried_through(self):
@@ -104,6 +104,56 @@ class TestSchemaV2:
         )
         path = write_manifest(manifest, tmp_path)
         assert load_manifest(path) == manifest
+
+
+class TestSchemaV3:
+    def test_status_defaults_to_completed(self):
+        manifest = build_manifest(command="x", config={}, seeds={})
+        assert manifest["status"] == "completed"
+        assert manifest["shard"] is None
+        assert "resumed" not in manifest
+        assert "merged_from" not in manifest
+
+    def test_interrupted_status(self):
+        manifest = build_manifest(
+            command="x", config={}, seeds={}, status="interrupted"
+        )
+        assert manifest["status"] == "interrupted"
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError, match="status"):
+            build_manifest(command="x", config={}, seeds={}, status="crashed")
+
+    def test_shard_resumed_and_merged_from_carried(self):
+        manifest = build_manifest(
+            command="x",
+            config={},
+            seeds={},
+            shard={"index": 1, "count": 2},
+            resumed=["figure4"],
+            merged_from=["run-a", "run-b"],
+        )
+        assert manifest["shard"] == {"index": 1, "count": 2}
+        assert manifest["resumed"] == ["figure4"]
+        assert manifest["merged_from"] == ["run-a", "run-b"]
+
+    def test_v2_document_reads_with_status_defaults(self, tmp_path):
+        document = {
+            "schema_version": 2,
+            "run_id": "20250101T000000Z-deadbeef",
+            "command": "run_all",
+            "config": {"jobs": 1},
+            "seeds": {"root": 0},
+            "spans": [],
+            "metrics": {},
+            "resources": {},
+        }
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(document))
+        manifest = load_manifest(path)
+        assert manifest["schema_version"] == 2  # preserved
+        assert manifest["status"] == "completed"
+        assert manifest["shard"] is None
 
 
 class TestLoadManifestBackCompat:

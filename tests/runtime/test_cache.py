@@ -17,7 +17,13 @@ from repro.runtime import (
     view_content_hash,
 )
 from repro.runtime import cache as cache_module
-from repro.runtime.cache import CACHE_COUNTERS, ENV_CACHE_DIR, STATS_FILE
+from repro.runtime.cache import (
+    CACHE_COUNTERS,
+    ENV_CACHE_DIR,
+    QUARANTINE_DIR,
+    STATS_FILE,
+)
+from repro.runtime.faults import ENV_FAULT_PLAN
 
 
 class TestHashKey:
@@ -114,6 +120,82 @@ class TestFeatureCache:
         cache = FeatureCache(tmp_path / "never-created")
         assert cache.entries() == []
         assert cache.get("k") is None
+
+
+class TestCorruptionSelfHeal:
+    """Torn/corrupt files are quarantined, counted, and treated as misses."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_counters(self, monkeypatch):
+        get_registry().reset()
+        monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+        yield
+        get_registry().reset()
+
+    def test_corrupt_entry_quarantined_and_recoverable(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("k", {"X": np.ones(3)})
+        cache._path("k").write_bytes(b"not an npz")
+        assert cache.get("k") is None  # miss, not an exception
+        assert cache.corrupt_entries == 1
+        assert len(cache) == 0  # gone from the entry namespace
+        quarantined = list((tmp_path / QUARANTINE_DIR).iterdir())
+        assert [p.name for p in quarantined] == ["k.npz"]
+        # The key is usable again immediately: recompute, put, hit.
+        assert cache.put("k", {"X": np.ones(3)})
+        assert cache.get("k") is not None
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("k", {"X": np.ones(64)})
+        path = cache._path("k")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.get("k") is None
+        assert cache.corrupt_entries == 1
+        counters = get_registry().snapshot()["counters"]
+        assert counters["cache_corrupt_entries"] == 1
+
+    def test_quarantined_entries_leave_stats_sane(self, tmp_path):
+        cache = FeatureCache(tmp_path)
+        cache.put("k", {"X": np.ones(3)})
+        cache._path("k").write_bytes(b"garbage")
+        cache.get("k")
+        assert cache.stats()["corrupt_entries"] == 1
+        assert cache.total_bytes() >= 0  # quarantine dir not globbed
+
+    def test_torn_write_fault_publishes_healable_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import json as json_module
+
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN,
+            json_module.dumps(
+                {"faults": [{"op": "torn_write", "key_substring": "victim"}]}
+            ),
+        )
+        cache = FeatureCache(tmp_path)
+        assert cache.put("victim", {"X": np.ones(64)})  # torn mid-write
+        assert cache.get("victim") is None  # heals: quarantine + miss
+        assert cache.corrupt_entries == 1
+        assert (tmp_path / QUARANTINE_DIR / "victim.npz").exists()
+        monkeypatch.delenv(ENV_FAULT_PLAN)
+        assert cache.put("victim", {"X": np.ones(64)})
+        assert cache.get("victim") is not None
+
+    def test_corrupt_sidecar_self_heals(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_module, "_flush_baseline", {})
+        cache = FeatureCache(tmp_path)
+        cache.put("k", {"X": np.ones(2)})
+        flush_cache_stats(cache)
+        (tmp_path / STATS_FILE).write_text("{torn")
+        totals = cache.persisted_stats()  # zeros, not an exception
+        assert totals["puts"] == 0
+        assert (tmp_path / QUARANTINE_DIR / STATS_FILE).exists()
+        counters = get_registry().snapshot()["counters"]
+        assert counters["cache_corrupt_entries"] == 1
+        flush_cache_stats(cache)  # a fresh sidecar can be written again
+        assert cache.persisted_stats()["puts"] >= 0
 
 
 class TestCacheStats:

@@ -1,0 +1,121 @@
+"""Tests for atomic experiment checkpoints (repro.runtime.checkpoint)."""
+
+import json
+
+import pytest
+
+from repro.obs import get_registry
+from repro.runtime import CheckpointStore, run_key
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+class TestRunKey:
+    def test_scale_seed_key(self):
+        assert run_key(0.5, 3) == "scale0.5-seed3"
+
+    def test_integral_scale_stays_short(self):
+        assert run_key(1.0, 0) == "scale1-seed0"
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "cp")
+        path = store.save(
+            "figure4", scale=0.1, seed=0, report="body", elapsed_seconds=1.5
+        )
+        assert path == store.path("figure4")
+        record = store.load("figure4", scale=0.1, seed=0)
+        assert record["report"] == "body"
+        assert record["elapsed_seconds"] == 1.5
+        assert len(record["report_sha256"]) == 64
+        counters = get_registry().snapshot()["counters"]
+        assert counters["checkpoints_written"] == 1
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("x", scale=0.1, seed=0, report="old")
+        store.save("x", scale=0.1, seed=0, report="new")
+        assert store.load("x")["report"] == "new"
+
+    def test_no_temp_litter(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("x", scale=0.1, seed=0, report="r")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+    def test_missing_is_none_without_counting(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load("nope") is None
+        counters = get_registry().snapshot()["counters"]
+        assert "checkpoints_invalid" not in counters
+
+
+class TestVerification:
+    def _store(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("x", scale=0.1, seed=0, report="r")
+        return store
+
+    def _invalid_count(self):
+        return get_registry().snapshot()["counters"].get(
+            "checkpoints_invalid", 0
+        )
+
+    def test_truncated_file_is_none(self, tmp_path):
+        store = self._store(tmp_path)
+        path = store.path("x")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.load("x") is None
+        assert self._invalid_count() == 1
+
+    def test_tampered_report_is_none(self, tmp_path):
+        store = self._store(tmp_path)
+        document = json.loads(store.path("x").read_text())
+        document["report"] = "tampered"
+        store.path("x").write_text(json.dumps(document))
+        assert store.load("x") is None
+        assert self._invalid_count() == 1
+
+    def test_non_object_is_none(self, tmp_path):
+        store = self._store(tmp_path)
+        store.path("x").write_text("[1, 2]")
+        assert store.load("x") is None
+
+    def test_wrong_scale_or_seed_is_none(self, tmp_path):
+        store = self._store(tmp_path)
+        assert store.load("x", scale=0.2, seed=0) is None
+        assert store.load("x", scale=0.1, seed=1) is None
+        assert store.load("x", scale=0.1, seed=0) is not None
+
+    def test_renamed_file_is_none(self, tmp_path):
+        store = self._store(tmp_path)
+        store.path("x").rename(store.path("y"))
+        assert store.load("y") is None  # name recorded inside disagrees
+
+
+class TestLoadAllAndClear:
+    def test_load_all_filters_and_skips_invalid(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", scale=0.1, seed=0, report="ra")
+        store.save("b", scale=0.1, seed=0, report="rb")
+        store.save("other", scale=0.2, seed=0, report="ro")
+        (tmp_path / "junk.json").write_text("{nope")
+        records = store.load_all(scale=0.1, seed=0)
+        assert sorted(records) == ["a", "b"]
+        assert records["a"]["report"] == "ra"
+
+    def test_load_all_on_missing_dir(self, tmp_path):
+        assert CheckpointStore(tmp_path / "nowhere").load_all() == {}
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", scale=0.1, seed=0, report="ra")
+        store.save("b", scale=0.1, seed=0, report="rb")
+        assert store.clear() == 2
+        assert store.load_all() == {}
+        assert CheckpointStore(tmp_path / "nowhere").clear() == 0

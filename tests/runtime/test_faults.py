@@ -1,0 +1,207 @@
+"""Tests for the deterministic fault-injection harness (repro.runtime.faults)."""
+
+import json
+
+import pytest
+
+from repro.obs import get_registry
+from repro.runtime import faults
+from repro.runtime.faults import (
+    ENV_FAULT_PLAN,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    inject,
+    maybe_tear_write,
+    parse_plan,
+    tear_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def _plan(monkeypatch, document):
+    monkeypatch.setenv(ENV_FAULT_PLAN, json.dumps(document))
+
+
+class TestParsePlan:
+    def test_minimal_plan(self):
+        plan = parse_plan('{"faults": [{"op": "raise"}]}')
+        assert plan.seed == 0
+        (rule,) = plan.rules
+        assert rule.op == "raise"
+        assert rule.attempt == 0  # first attempt only, by default
+        assert rule.site == "task"
+
+    def test_full_rule(self):
+        plan = parse_plan(
+            json.dumps(
+                {
+                    "seed": 7,
+                    "faults": [
+                        {
+                            "op": "torn_write",
+                            "key_substring": "figure4",
+                            "p": 0.5,
+                            "times": 2,
+                        }
+                    ],
+                }
+            )
+        )
+        assert plan.seed == 7
+        (rule,) = plan.rules
+        assert rule.site == "cache_write"
+        assert rule.p == 0.5
+        assert rule.times == 2
+
+    def test_attempt_null_means_every_attempt(self):
+        plan = parse_plan('{"faults": [{"op": "raise", "attempt": null}]}')
+        assert plan.rules[0].attempt is None
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            parse_plan("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            parse_plan("[1]")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault op"):
+            parse_plan('{"faults": [{"op": "explode"}]}')
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            parse_plan('{"faults": [{"op": "raise", "p": 1.5}]}')
+
+
+class TestRuleMatching:
+    def test_task_and_attempt_pinning(self):
+        rule = FaultRule(op="raise", task=3, attempt=1)
+        assert rule.matches("task", 3, 1, None)
+        assert not rule.matches("task", 3, 0, None)
+        assert not rule.matches("task", 2, 1, None)
+        assert not rule.matches("cache_write", 3, 1, None)
+
+    def test_times_cap(self):
+        rule = FaultRule(op="raise", times=1)
+        assert rule.matches("task", 0, 0, None)
+        rule.fired = 1
+        assert not rule.matches("task", 0, 0, None)
+
+    def test_key_substring(self):
+        rule = FaultRule(op="torn_write", key_substring="abc")
+        assert rule.matches("cache_write", None, 0, "xxabcxx")
+        assert not rule.matches("cache_write", None, 0, "def")
+        assert not rule.matches("cache_write", None, 0, None)
+
+
+class TestDeterministicGate:
+    def test_same_coordinate_same_decision(self):
+        plan = parse_plan('{"seed": 3, "faults": [{"op": "raise", "p": 0.5}]}')
+        rule = plan.rules[0]
+        first = [plan.gate(rule, "task", i, 0, None) for i in range(64)]
+        second = [plan.gate(rule, "task", i, 0, None) for i in range(64)]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually gates
+
+    def test_seed_changes_decisions(self):
+        a = parse_plan('{"seed": 1, "faults": [{"op": "raise", "p": 0.5}]}')
+        b = parse_plan('{"seed": 2, "faults": [{"op": "raise", "p": 0.5}]}')
+        decisions_a = [a.gate(a.rules[0], "task", i, 0, None) for i in range(64)]
+        decisions_b = [b.gate(b.rules[0], "task", i, 0, None) for i in range(64)]
+        assert decisions_a != decisions_b
+
+    def test_probability_extremes(self):
+        plan = parse_plan(
+            '{"faults": [{"op": "raise", "p": 0.0}, {"op": "raise", "p": 1.0}]}'
+        )
+        never, always = plan.rules
+        assert not any(plan.gate(never, "task", i, 0, None) for i in range(16))
+        assert all(plan.gate(always, "task", i, 0, None) for i in range(16))
+
+
+class TestActivePlan:
+    def test_no_env_means_no_plan(self):
+        assert active_plan() is None
+
+    def test_env_change_reparses(self, monkeypatch):
+        _plan(monkeypatch, {"faults": [{"op": "raise"}]})
+        assert len(active_plan().rules) == 1
+        _plan(monkeypatch, {"faults": [{"op": "raise"}, {"op": "stall"}]})
+        assert len(active_plan().rules) == 2
+        monkeypatch.delenv(ENV_FAULT_PLAN)
+        assert active_plan() is None
+
+
+class TestInject:
+    def test_noop_without_plan(self):
+        inject("task", index=0, attempt=0)  # must not raise
+
+    def test_raise_rule_fires_and_counts(self, monkeypatch):
+        _plan(monkeypatch, {"faults": [{"op": "raise", "task": 2}]})
+        inject("task", index=1, attempt=0)  # wrong task: no fault
+        with pytest.raises(InjectedFault):
+            inject("task", index=2, attempt=0)
+        counters = get_registry().snapshot()["counters"]
+        assert counters["faults_injected{op=raise}"] == 1
+
+    def test_attempt_zero_rule_spares_retries(self, monkeypatch):
+        _plan(monkeypatch, {"faults": [{"op": "raise", "task": 0}]})
+        with pytest.raises(InjectedFault):
+            inject("task", index=0, attempt=0)
+        inject("task", index=0, attempt=1)  # the retry goes through
+
+    def test_stall_rule_sleeps(self, monkeypatch):
+        import time
+
+        _plan(monkeypatch, {"faults": [{"op": "stall", "seconds": 0.05}]})
+        start = time.monotonic()
+        inject("task", index=0, attempt=0)
+        assert time.monotonic() - start >= 0.05
+
+    def test_times_cap_limits_firings(self, monkeypatch):
+        _plan(
+            monkeypatch,
+            {"faults": [{"op": "raise", "attempt": None, "times": 1}]},
+        )
+        with pytest.raises(InjectedFault):
+            inject("task", index=0, attempt=0)
+        inject("task", index=0, attempt=1)  # cap reached: no more faults
+
+
+class TestTornWrites:
+    def test_tear_file_halves(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"x" * 100)
+        tear_file(path)
+        assert path.stat().st_size == 50
+
+    def test_maybe_tear_write_without_plan(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"x" * 10)
+        assert maybe_tear_write(path, key="k") is False
+        assert path.stat().st_size == 10
+
+    def test_maybe_tear_write_matches_key(self, monkeypatch, tmp_path):
+        _plan(
+            monkeypatch,
+            {"faults": [{"op": "torn_write", "key_substring": "victim"}]},
+        )
+        safe = tmp_path / "safe.bin"
+        safe.write_bytes(b"x" * 10)
+        assert maybe_tear_write(safe, key="other") is False
+        victim = tmp_path / "victim.bin"
+        victim.write_bytes(b"x" * 10)
+        assert maybe_tear_write(victim, key="the-victim-key") is True
+        assert victim.stat().st_size == 5
+        counters = get_registry().snapshot()["counters"]
+        assert counters["faults_injected{op=torn_write}"] == 1

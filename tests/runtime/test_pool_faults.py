@@ -1,0 +1,145 @@
+"""Fault-tolerance tests for the pool (worker death, retries, watchdog).
+
+These drive :func:`repro.runtime.parallel_map` through the seeded
+fault-injection harness (``REPRO_FAULT_PLAN``): workers SIGKILL
+themselves, raise, or stall at chosen ``(task, attempt)`` coordinates,
+and the contract under test is that the recovered run still returns
+exactly what ``--jobs 1`` returns.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import get_registry
+from repro.runtime import RetryPolicy, parallel_map
+from repro.runtime.faults import ENV_FAULT_PLAN
+
+FAST_RETRY = RetryPolicy(backoff_s=0.01, max_backoff_s=0.05)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def _arm(monkeypatch, *rules, seed=0):
+    monkeypatch.setenv(
+        ENV_FAULT_PLAN, json.dumps({"seed": seed, "faults": list(rules)})
+    )
+
+
+def _counters():
+    return get_registry().snapshot()["counters"]
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_retries_and_matches_serial(self, monkeypatch):
+        items = list(range(6))
+        expected = [x * x for x in items]
+        _arm(monkeypatch, {"op": "kill", "task": 1})
+        assert parallel_map(_square, items, jobs=2, retry=FAST_RETRY) == expected
+        counters = _counters()
+        assert counters["pool_worker_deaths"] >= 1
+        assert counters["task_retries"] >= 1
+        assert "tasks_degraded_serial" not in counters
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_random_kills_stay_byte_identical(self, monkeypatch, jobs):
+        """Satellite contract: chaos output == serial output, jobs in {2, 4}."""
+        items = list(range(8))
+        serial = parallel_map(_square, items, jobs=1)
+        _arm(monkeypatch, {"op": "kill", "p": 0.5}, seed=7)
+        assert parallel_map(_square, items, jobs=jobs, retry=FAST_RETRY) == serial
+        assert _counters()["pool_worker_deaths"] >= 1
+
+
+class TestTaskRetries:
+    def test_injected_raise_is_retried(self, monkeypatch):
+        _arm(monkeypatch, {"op": "raise", "task": 0})
+        assert parallel_map(_square, [1, 2, 3], jobs=2, retry=FAST_RETRY) == [
+            1,
+            4,
+            9,
+        ]
+        # The injected attempt's own metrics delta never ships (the
+        # attempt failed); only the parent-side retry counter records it.
+        assert _counters()["task_retries"] == 1
+
+    def test_persistent_failure_degrades_to_serial(self, monkeypatch):
+        # attempt: null fires on every pool attempt; only the in-process
+        # degraded path (which never injects) can finish task 0.
+        _arm(monkeypatch, {"op": "raise", "task": 0, "attempt": None})
+        policy = RetryPolicy(max_retries=1, backoff_s=0.01, max_backoff_s=0.02)
+        assert parallel_map(_square, [1, 2, 3], jobs=2, retry=policy) == [
+            1,
+            4,
+            9,
+        ]
+        counters = _counters()
+        assert counters["tasks_degraded_serial"] == 1
+        assert counters["task_retries"] == 1
+
+    def test_deterministic_bug_still_propagates(self):
+        # No injection at all: a task that always raises must still
+        # surface its error (after the retry budget), not be swallowed.
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, [1, 2], jobs=2, retry=FAST_RETRY)
+
+
+def _stallable(x):
+    return x + 100
+
+
+class TestStallWatchdog:
+    def test_stalled_task_is_killed_and_retried(self, monkeypatch):
+        _arm(monkeypatch, {"op": "stall", "task": 0, "seconds": 30.0})
+        policy = RetryPolicy(
+            backoff_s=0.01, max_backoff_s=0.02, task_timeout_s=0.3
+        )
+        assert parallel_map(
+            _stallable, list(range(4)), jobs=2, retry=policy
+        ) == [100, 101, 102, 103]
+        assert _counters()["pool_worker_deaths"] >= 1
+
+
+class TestOnResult:
+    def test_callback_sees_every_result_exactly_once(self, monkeypatch):
+        _arm(monkeypatch, {"op": "kill", "task": 2})
+        seen = {}
+        parallel_map(
+            _square,
+            [3, 1, 2, 5],
+            jobs=2,
+            retry=FAST_RETRY,
+            on_result=lambda index, value: seen.setdefault(index, value),
+        )
+        assert seen == {0: 9, 1: 1, 2: 4, 3: 25}
+
+    def test_callback_fires_on_serial_path(self):
+        seen = []
+        parallel_map(
+            _square, [2, 3], jobs=1, on_result=lambda i, v: seen.append((i, v))
+        )
+        assert seen == [(0, 4), (1, 9)]
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_s=0.1, backoff_factor=2.0, max_backoff_s=0.3
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.3)  # capped

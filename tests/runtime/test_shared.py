@@ -118,3 +118,55 @@ class TestPoolTransport:
                 np.testing.assert_array_equal(again.array, data)
             finally:
                 again.close()
+
+
+class TestAttachRetry:
+    """The name-visibility race retries with backoff before giving up."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_backoff(self, monkeypatch):
+        from repro.obs import get_registry
+        from repro.runtime import shared as shared_module
+
+        monkeypatch.setattr(shared_module, "ATTACH_BACKOFF_S", 0.001)
+        get_registry().reset()
+        yield
+        get_registry().reset()
+
+    def _retry_count(self):
+        from repro.obs import get_registry
+
+        return get_registry().snapshot()["counters"].get(
+            "shared_attach_retries", 0
+        )
+
+    def test_transient_miss_retries_then_attaches(self, monkeypatch):
+        from repro.runtime import shared as shared_module
+
+        data = np.arange(8, dtype=np.float64)
+        with SharedArray.from_array(data) as owner:
+            real = shared_module.shared_memory.SharedMemory
+            failures = {"left": 2}
+
+            def flaky(*args, **kwargs):
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise FileNotFoundError(kwargs.get("name"))
+                return real(*args, **kwargs)
+
+            monkeypatch.setattr(
+                shared_module.shared_memory, "SharedMemory", flaky
+            )
+            attached = SharedArray(owner.name, owner.shape, owner.dtype.str)
+            try:
+                np.testing.assert_array_equal(attached.array, data)
+            finally:
+                attached.close()
+            assert self._retry_count() == 2
+
+    def test_genuinely_missing_segment_still_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedArray("repro-test-no-such-segment", (4,), "<f8")
+        from repro.runtime.shared import ATTACH_RETRIES
+
+        assert self._retry_count() == ATTACH_RETRIES

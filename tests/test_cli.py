@@ -317,6 +317,7 @@ class TestCommands:
                 "--only",
                 "figure4",
                 "--no-manifest",
+                "--no-checkpoint",
                 "--manifest-dir",
                 str(tmp_path / "runs"),
             ]
